@@ -1,0 +1,58 @@
+// Figure 3: class-subspace PCA scatter for clean/infected source models and
+// their prompted (target) views.  Emits CSV + ASCII scatter.
+#include "common.hpp"
+#include "linalg/pca.hpp"
+#include "metrics/scatter.hpp"
+#include "vp/train_whitebox.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  util::Rng rng(21);
+  auto dt_train = data::subset(env.stl10.train,
+                               rng.sample_without_replacement(env.stl10.train.size(), 256));
+  auto emit = [&](nn::Model& model, const nn::LabeledData& samples,
+                  const std::string& tag) {
+    nn::Tensor feats = model.features(samples.images);
+    linalg::Matrix m(samples.size(), model.feature_dim());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = 0; j < model.feature_dim(); ++j) {
+        m(i, j) = feats.data()[i * model.feature_dim() + j];
+      }
+    }
+    auto pca = linalg::fit_pca(m, 2);
+    std::vector<metrics::ScatterSeries> series(4);
+    for (std::size_t c = 0; c < 4; ++c) series[c].label = tag + " class " + std::to_string(c);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto c = static_cast<std::size_t>(samples.labels[i]);
+      if (c >= 4) continue;  // figure shows four subspaces
+      auto p = pca.project(m.row(i));
+      series[c].x.push_back(p[0]);
+      series[c].y.push_back(p[1]);
+    }
+    metrics::write_scatter_csv("figure03_" + tag + ".csv", series);
+    std::printf("-- %s --\n%s", tag.c_str(),
+                metrics::ascii_scatter(series, 64, 16).c_str());
+  };
+
+  auto clean = core::train_clean_model(env.cifar10, nn::ArchKind::kResNet18Mini, 31, env.scale);
+  auto atk = attacks::AttackConfig::defaults(attacks::AttackKind::kBadNets, 0);
+  auto infected = core::train_backdoored_model(env.cifar10, atk, nn::ArchKind::kResNet18Mini, 32, env.scale);
+
+  util::Rng srng(33);
+  auto src_samples = data::subset(env.cifar10.test, srng.sample_without_replacement(env.cifar10.test.size(), 200));
+  emit(*clean.model, src_samples, "clean_source");
+  emit(*infected.model, src_samples, "infected_source");
+
+  // Prompted (target) views: push stl10 samples through each model's prompt.
+  for (auto* ts : {&clean, &infected}) {
+    vp::WhiteBoxPromptConfig pc; pc.epochs = env.scale.prompt_epochs;
+    auto prompt = vp::learn_prompt_whitebox(*ts->model, dt_train, pc);
+    auto tgt_samples = data::subset(env.stl10.test, srng.sample_without_replacement(env.stl10.test.size(), 200));
+    nn::LabeledData prompted;
+    prompted.images = prompt.apply(tgt_samples.images);
+    prompted.labels = tgt_samples.labels;
+    emit(*ts->model, prompted, ts->backdoored ? "infected_target" : "clean_target");
+  }
+  std::printf("CSV series written to figure03_*.csv\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 5: AUROC of 10 baseline defenses + BPROM across 8 attacks on
+// cifar10-like and gtsrb-like (ResNet18Mini).
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  util::Stopwatch clock;
+  auto env = Env::make();
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  const std::vector<defenses::DefenseKind> baselines = {
+      defenses::DefenseKind::kStrip,    defenses::DefenseKind::kAc,
+      defenses::DefenseKind::kFrequency, defenses::DefenseKind::kSentiNet,
+      defenses::DefenseKind::kCt,       defenses::DefenseKind::kSs,
+      defenses::DefenseKind::kScan,     defenses::DefenseKind::kSpectre,
+      defenses::DefenseKind::kMmBd,     defenses::DefenseKind::kTed};
+  for (auto* src : {&env.cifar10, &env.gtsrb}) {
+    std::printf("== Table 5 (%s, ResNet18Mini): AUROC ==\n", src->profile.name.c_str());
+    std::vector<std::string> header = {"defense"};
+    for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
+    header.push_back("AVG");
+    util::TablePrinter table(header);
+    for (auto d : baselines) {
+      std::vector<std::string> row = {defenses::defense_name(d)};
+      double avg = 0;
+      for (auto a : main_attacks()) {
+        auto eval = baseline_cell(d, *src, a, arch, 100 + (int)a, env.scale);
+        row.push_back(util::cell(eval.auroc));
+        avg += eval.auroc;
+      }
+      row.push_back(util::cell(avg / main_attacks().size()));
+      table.add_row(row);
+      print_elapsed(clock, defenses::defense_name(d).c_str());
+    }
+    auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
+    print_elapsed(clock, "BPROM detector fitted");
+    std::vector<std::string> row = {"BPROM (10%)"};
+    double avg = 0;
+    for (auto a : main_attacks()) {
+      auto cell = bprom_cell(detector, *src, a, arch, 300 + (int)a, env.scale);
+      row.push_back(util::cell(cell.auroc));
+      avg += cell.auroc;
+    }
+    row.push_back(util::cell(avg / main_attacks().size()));
+    table.add_row(row);
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 6: AUROC on tiny-imagenet-like, ResNet18Mini + MobileNetV2Mini.
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  auto tiny = data::make_dataset(data::DatasetKind::kTinyImageNet, 1);
+  const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::kBadNets, attacks::AttackKind::kBlend,
+      attacks::AttackKind::kTrojan, attacks::AttackKind::kWaNet,
+      attacks::AttackKind::kAdapBlend, attacks::AttackKind::kAdapPatch};
+  for (auto arch : {nn::ArchKind::kResNet18Mini, nn::ArchKind::kMobileNetV2Mini}) {
+    std::vector<std::string> header = {"defense"};
+    for (auto a : kinds) header.push_back(attacks::attack_name(a));
+    header.push_back("AVG");
+    util::TablePrinter table(header);
+    for (auto d : {defenses::DefenseKind::kStrip, defenses::DefenseKind::kScan,
+                   defenses::DefenseKind::kScaleUp, defenses::DefenseKind::kCd,
+                   defenses::DefenseKind::kMmBd}) {
+      std::vector<std::string> row = {defenses::defense_name(d)};
+      double avg = 0;
+      for (auto a : kinds) {
+        auto eval = baseline_cell(d, tiny, a, arch, 210 + (int)a, env.scale);
+        row.push_back(util::cell(eval.auroc));
+        avg += eval.auroc;
+      }
+      row.push_back(util::cell(avg / kinds.size()));
+      table.add_row(row);
+    }
+    auto detector = core::fit_detector(tiny, env.stl10, 0.10, arch, 7, env.scale);
+    std::vector<std::string> row = {"BPROM (10%)"};
+    double avg = 0;
+    for (auto a : kinds) {
+      auto cell = bprom_cell(detector, tiny, a, arch, 350 + (int)a, env.scale);
+      row.push_back(util::cell(cell.auroc));
+      avg += cell.auroc;
+    }
+    row.push_back(util::cell(avg / kinds.size()));
+    table.add_row(row);
+    std::printf("== Table 6 (tiny-imagenet-like, %s): AUROC ==\n", nn::arch_name(arch).c_str());
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 7: AUROC vs number of shadow models (2 / 10 / 20 / 40).
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  const std::size_t counts[] = {2, 10, 20};
+  util::TablePrinter table({"# shadows", "cifar Blend", "cifar AdapBlend",
+                            "gtsrb Blend", "gtsrb AdapBlend"});
+  for (auto total : counts) {
+    std::vector<std::string> row = {std::to_string(total) + " (" +
+                                    std::to_string(total / 2) + "+" +
+                                    std::to_string(total / 2) + ")"};
+    for (auto* src : {&env.cifar10, &env.gtsrb}) {
+      auto scale = env.scale;
+      scale.shadows_per_side = total / 2;
+      auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, scale);
+      for (auto kind : {attacks::AttackKind::kBlend, attacks::AttackKind::kAdapBlend}) {
+        auto cell = bprom_cell(detector, *src, kind, arch, 400 + (int)kind, env.scale);
+        row.push_back(util::cell(cell.auroc));
+      }
+    }
+    table.add_row(row);
+  }
+  std::printf("== Table 7: AUROC vs shadow-model count ==\n");
+  table.print();
+  return 0;
+}

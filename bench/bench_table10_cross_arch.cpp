@@ -1,0 +1,30 @@
+// Table 10: suspicious MobileNetV2Mini, shadows ResNet18Mini.
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  auto detector = core::fit_detector(env.cifar10, env.stl10, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, env.scale);
+  const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::kWaNet, attacks::AttackKind::kAdapBlend,
+      attacks::AttackKind::kAdapPatch};
+  util::TablePrinter table({"metric", "WaNet", "Adap-Blend", "Adap-Patch", "AVG"});
+  std::vector<std::string> f1 = {"F1"};
+  std::vector<std::string> au = {"AUROC"};
+  double af = 0, aa = 0;
+  for (auto a : kinds) {
+    auto cell = bprom_cell(detector, env.cifar10, a,
+                           nn::ArchKind::kMobileNetV2Mini, 450 + (int)a, env.scale);
+    f1.push_back(util::cell(cell.f1));
+    au.push_back(util::cell(cell.auroc));
+    af += cell.f1;
+    aa += cell.auroc;
+  }
+  f1.push_back(util::cell(af / 3));
+  au.push_back(util::cell(aa / 3));
+  table.add_row(f1);
+  table.add_row(au);
+  std::printf("== Table 10: cross-architecture detection ==\n");
+  table.print();
+  return 0;
+}

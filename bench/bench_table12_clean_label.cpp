@@ -1,0 +1,20 @@
+// Table 12: clean-label adaptive attacks (SIG, LC).
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  util::TablePrinter table({"dataset", "SIG", "LC"});
+  for (auto* src : {&env.cifar10, &env.gtsrb}) {
+    auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
+    std::vector<std::string> row = {src->profile.name};
+    for (auto kind : {attacks::AttackKind::kSig, attacks::AttackKind::kLc}) {
+      auto cell = bprom_cell(detector, *src, kind, arch, 550 + (int)kind, env.scale);
+      row.push_back(util::cell(cell.auroc));
+    }
+    table.add_row(row);
+  }
+  std::printf("== Table 12: clean-label attacks AUROC ==\n");
+  table.print();
+  return 0;
+}

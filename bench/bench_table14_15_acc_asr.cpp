@@ -1,0 +1,30 @@
+// Tables 14-15: clean accuracy and ASR per attack, both architectures.
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  for (auto arch : {nn::ArchKind::kResNet18Mini, nn::ArchKind::kMobileNetV2Mini}) {
+    std::vector<std::string> header = {"dataset", "metric"};
+    for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
+    header.push_back("Clean");
+    util::TablePrinter table(header);
+    for (auto* src : {&env.cifar10, &env.gtsrb}) {
+      std::vector<std::string> acc = {src->profile.name, "ACC"};
+      std::vector<std::string> asr = {src->profile.name, "ASR"};
+      for (auto a : main_attacks()) {
+        auto atk = attacks::AttackConfig::defaults(a);
+        auto m = core::train_backdoored_model(*src, atk, arch, 600 + (int)a, env.scale);
+        acc.push_back(util::cell(m.clean_accuracy));
+        asr.push_back(util::cell(m.asr));
+      }
+      auto cln = core::train_clean_model(*src, arch, 650, env.scale);
+      acc.push_back(util::cell(cln.clean_accuracy));
+      asr.push_back("-");
+      table.add_row(acc);
+      table.add_row(asr);
+    }
+    std::printf("== Tables 14-15 (%s): accuracy and ASR ==\n", nn::arch_name(arch).c_str());
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 16: F1 of defenses + BPROM at D_S = 10/5/1 % (ResNet18Mini).
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  for (auto* src : {&env.cifar10, &env.gtsrb}) {
+    std::vector<std::string> header = {"defense"};
+    for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
+    header.push_back("AVG");
+    util::TablePrinter table(header);
+    for (auto d : {defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
+                   defenses::DefenseKind::kSs, defenses::DefenseKind::kScan,
+                   defenses::DefenseKind::kSpectre}) {
+      std::vector<std::string> row = {defenses::defense_name(d)};
+      double avg = 0;
+      for (auto a : main_attacks()) {
+        auto eval = baseline_cell(d, *src, a, arch, 700 + (int)a, env.scale);
+        row.push_back(util::cell(eval.f1));
+        avg += eval.f1;
+      }
+      row.push_back(util::cell(avg / main_attacks().size()));
+      table.add_row(row);
+    }
+    for (double frac : {0.10, 0.05, 0.01}) {
+      auto detector = core::fit_detector(*src, env.stl10, frac, arch, 7, env.scale);
+      std::vector<std::string> row = {"BPROM (" + util::cell(100 * frac, 0) + "%)"};
+      double avg = 0;
+      for (auto a : main_attacks()) {
+        auto cell = bprom_cell(detector, *src, a, arch, 750 + (int)a, env.scale);
+        row.push_back(util::cell(cell.f1));
+        avg += cell.f1;
+      }
+      row.push_back(util::cell(avg / main_attacks().size()));
+      table.add_row(row);
+    }
+    std::printf("== Table 16 (%s): F1 ==\n", src->profile.name.c_str());
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Tables 17-18: AUROC + F1 on MobileNetV2Mini.
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  const auto arch = nn::ArchKind::kMobileNetV2Mini;
+  for (auto* src : {&env.cifar10, &env.gtsrb}) {
+    std::vector<std::string> header = {"method", "metric"};
+    for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
+    util::TablePrinter table(header);
+    for (auto d : {defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
+                   defenses::DefenseKind::kScan}) {
+      std::vector<std::string> au = {defenses::defense_name(d), "AUROC"};
+      std::vector<std::string> f1 = {defenses::defense_name(d), "F1"};
+      for (auto a : main_attacks()) {
+        auto eval = baseline_cell(d, *src, a, arch, 800 + (int)a, env.scale);
+        au.push_back(util::cell(eval.auroc));
+        f1.push_back(util::cell(eval.f1));
+      }
+      table.add_row(au);
+      table.add_row(f1);
+    }
+    auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
+    std::vector<std::string> au = {"BPROM (10%)", "AUROC"};
+    std::vector<std::string> f1 = {"BPROM (10%)", "F1"};
+    for (auto a : main_attacks()) {
+      auto cell = bprom_cell(detector, *src, a, arch, 850 + (int)a, env.scale);
+      au.push_back(util::cell(cell.auroc));
+      f1.push_back(util::cell(cell.f1));
+    }
+    table.add_row(au);
+    table.add_row(f1);
+    std::printf("== Tables 17-18 (%s, MobileNetV2Mini) ==\n", src->profile.name.c_str());
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Tables 19-20: external dataset D_T changed to svhn-like.
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  auto svhn = data::make_dataset(data::DatasetKind::kSvhn, 3);
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  for (auto* src : {&env.gtsrb, &env.cifar10}) {
+    auto detector = core::fit_detector(*src, svhn, 0.10, arch, 7, env.scale);
+    std::vector<std::string> header = {"metric"};
+    for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
+    header.push_back("AVG");
+    util::TablePrinter table(header);
+    std::vector<std::string> f1 = {"F1"};
+    std::vector<std::string> au = {"AUROC"};
+    double af = 0, aa = 0;
+    for (auto a : main_attacks()) {
+      auto cell = bprom_cell(detector, *src, a, arch, 900 + (int)a, env.scale);
+      f1.push_back(util::cell(cell.f1));
+      au.push_back(util::cell(cell.auroc));
+      af += cell.f1;
+      aa += cell.auroc;
+    }
+    f1.push_back(util::cell(af / main_attacks().size()));
+    au.push_back(util::cell(aa / main_attacks().size()));
+    table.add_row(f1);
+    table.add_row(au);
+    std::printf("== Tables 19-20 (D_S=%s, D_T=svhn-like) ==\n", src->profile.name.c_str());
+    table.print();
+  }
+  return 0;
+}

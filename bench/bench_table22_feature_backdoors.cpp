@@ -1,0 +1,18 @@
+// Table 22: feature-based backdoors (Refool, BPP, PoisonInk).
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  auto detector = core::fit_detector(env.cifar10, env.stl10, 0.10, arch, 7, env.scale);
+  util::TablePrinter table({"attack", "F1", "AUROC", "mean ASR"});
+  for (auto kind : {attacks::AttackKind::kRefool, attacks::AttackKind::kBpp,
+                    attacks::AttackKind::kPoisonInk}) {
+    auto cell = bprom_cell(detector, env.cifar10, kind, arch, 1000 + (int)kind, env.scale);
+    table.add_row({attacks::attack_name(kind), util::cell(cell.f1),
+                   util::cell(cell.auroc), util::cell(cell.mean_asr)});
+  }
+  std::printf("== Table 22: feature-based backdoors ==\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 23: AUROC vs reserved clean set size (1/5/10 %).
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  for (auto* src : {&env.cifar10, &env.gtsrb}) {
+    std::vector<std::string> header = {"D_S size"};
+    for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
+    header.push_back("AVG");
+    util::TablePrinter table(header);
+    for (double frac : {0.10, 0.05, 0.01}) {
+      auto detector = core::fit_detector(*src, env.stl10, frac, arch, 7, env.scale);
+      std::vector<std::string> row = {util::cell(100 * frac, 0) + "%"};
+      double avg = 0;
+      for (auto a : main_attacks()) {
+        auto cell = bprom_cell(detector, *src, a, arch, 1100 + (int)a, env.scale);
+        row.push_back(util::cell(cell.auroc));
+        avg += cell.auroc;
+      }
+      row.push_back(util::cell(avg / main_attacks().size()));
+      table.add_row(row);
+    }
+    std::printf("== Table 23 (%s): reserved-clean-size sweep ==\n", src->profile.name.c_str());
+    table.print();
+  }
+  return 0;
+}

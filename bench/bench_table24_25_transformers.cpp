@@ -1,0 +1,31 @@
+// Tables 24-25: MobileViTMini and SwinMini architectures.
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::kBadNets, attacks::AttackKind::kBlend,
+      attacks::AttackKind::kTrojan, attacks::AttackKind::kWaNet,
+      attacks::AttackKind::kAdapBlend, attacks::AttackKind::kAdapPatch};
+  for (auto arch : {nn::ArchKind::kMobileViTMini, nn::ArchKind::kSwinMini}) {
+    std::vector<std::string> header = {"dataset"};
+    for (auto a : kinds) header.push_back(attacks::attack_name(a));
+    header.push_back("AVG");
+    util::TablePrinter table(header);
+    for (auto* src : {&env.cifar10, &env.gtsrb}) {
+      auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
+      std::vector<std::string> row = {src->profile.name};
+      double avg = 0;
+      for (auto a : kinds) {
+        auto cell = bprom_cell(detector, *src, a, arch, 1200 + (int)a, env.scale);
+        row.push_back(util::cell(cell.auroc));
+        avg += cell.auroc;
+      }
+      row.push_back(util::cell(avg / kinds.size()));
+      table.add_row(row);
+    }
+    std::printf("== Tables 24-25 (%s): BPROM AUROC ==\n", nn::arch_name(arch).c_str());
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 26: imagenet-like AUROC (CD, SCALE-UP, STRIP baselines + BPROM).
+#include "common.hpp"
+int main() {
+  using namespace bench;
+  auto env = Env::make();
+  auto imagenet = data::make_dataset(data::DatasetKind::kImageNet, 1);
+  const auto arch = nn::ArchKind::kResNet18Mini;
+  const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::kBadNets, attacks::AttackKind::kTrojan,
+      attacks::AttackKind::kAdapBlend, attacks::AttackKind::kAdapPatch};
+  std::vector<std::string> header = {"defense"};
+  for (auto a : kinds) header.push_back(attacks::attack_name(a));
+  header.push_back("AVG");
+  util::TablePrinter table(header);
+  for (auto d : {defenses::DefenseKind::kCd, defenses::DefenseKind::kScaleUp,
+                 defenses::DefenseKind::kStrip}) {
+    std::vector<std::string> row = {defenses::defense_name(d)};
+    double avg = 0;
+    for (auto a : kinds) {
+      auto eval = baseline_cell(d, imagenet, a, arch, 1300 + (int)a, env.scale);
+      row.push_back(util::cell(eval.auroc));
+      avg += eval.auroc;
+    }
+    row.push_back(util::cell(avg / kinds.size()));
+    table.add_row(row);
+  }
+  auto detector = core::fit_detector(imagenet, env.stl10, 0.10, arch, 7, env.scale);
+  std::vector<std::string> row = {"BPROM (10%)"};
+  double avg = 0;
+  for (auto a : kinds) {
+    auto cell = bprom_cell(detector, imagenet, a, arch, 1350 + (int)a, env.scale);
+    row.push_back(util::cell(cell.auroc));
+    avg += cell.auroc;
+  }
+  row.push_back(util::cell(avg / kinds.size()));
+  table.add_row(row);
+  std::printf("== Table 26: imagenet-like ==\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// §6.2 training-time report: BPROM fit wall-clock vs shadow count and
+// architecture, measured with google-benchmark.
+#include <benchmark/benchmark.h>
+#include "common.hpp"
+using namespace bench;
+
+static void BM_BpromFit(benchmark::State& state) {
+  auto env = Env::make();
+  const auto arch = state.range(1) == 0 ? nn::ArchKind::kResNet18Mini
+                                        : nn::ArchKind::kMobileNetV2Mini;
+  auto scale = env.scale;
+  scale.shadows_per_side = static_cast<std::size_t>(state.range(0)) / 2;
+  for (auto _ : state) {
+    auto detector = core::fit_detector(env.cifar10, env.stl10, 0.10, arch, 7, scale);
+    benchmark::DoNotOptimize(detector.fitted());
+  }
+  state.counters["shadows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BpromFit)->Args({4, 0})->Args({8, 0})->Args({16, 0})
+    ->Args({4, 1})->Args({8, 1})->Unit(benchmark::kSecond)->Iterations(1);
+
+static void BM_TrainSuspicious(benchmark::State& state) {
+  auto env = Env::make();
+  std::uint64_t seed = 9000;
+  for (auto _ : state) {
+    auto m = core::train_clean_model(env.cifar10, nn::ArchKind::kResNet18Mini,
+                                     seed++, env.scale);
+    benchmark::DoNotOptimize(m.clean_accuracy);
+  }
+}
+BENCHMARK(BM_TrainSuspicious)->Unit(benchmark::kSecond)->Iterations(1);
+
+static void BM_BlackBoxInspect(benchmark::State& state) {
+  auto env = Env::make();
+  auto detector = core::fit_detector(env.cifar10, env.stl10, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, env.scale);
+  auto m = core::train_clean_model(env.cifar10, nn::ArchKind::kResNet18Mini,
+                                   9500, env.scale);
+  for (auto _ : state) {
+    nn::BlackBoxAdapter box(*m.model);
+    auto verdict = detector.inspect(box);
+    benchmark::DoNotOptimize(verdict.score);
+    state.counters["queries"] = static_cast<double>(verdict.queries);
+  }
+}
+BENCHMARK(BM_BlackBoxInspect)->Unit(benchmark::kSecond)->Iterations(1);
+
+BENCHMARK_MAIN();

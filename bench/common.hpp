@@ -1,0 +1,140 @@
+// Shared helpers for the table/figure benches.
+//
+// Every bench regenerates one table or figure from the paper.  Cost scales
+// with BPROM_SCALE (0 = smoke, 1 = default, 2 = heavy); absolute numbers are
+// substrate-scale, the shapes are the reproduction target (EXPERIMENTS.md).
+// Each binary prints the reproduced rows and per-stage wall-clock timings.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/ops.hpp"
+#include "metrics/roc.hpp"
+#include "defenses/evaluate.hpp"
+#include "defenses/model_level.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace bench {
+
+using namespace bprom;
+
+struct Env {
+  core::ExperimentScale scale = core::ExperimentScale::current();
+  data::Dataset cifar10;
+  data::Dataset gtsrb;
+  data::Dataset stl10;
+
+  static Env make() {
+    Env env;
+    env.cifar10 = data::make_dataset(data::DatasetKind::kCifar10, 1);
+    env.gtsrb = data::make_dataset(data::DatasetKind::kGtsrb, 1);
+    env.stl10 = data::make_dataset(data::DatasetKind::kStl10, 2);
+    return env;
+  }
+};
+
+inline const std::vector<attacks::AttackKind>& main_attacks() {
+  static const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::kBadNets,   attacks::AttackKind::kBlend,
+      attacks::AttackKind::kTrojan,    attacks::AttackKind::kBpp,
+      attacks::AttackKind::kWaNet,     attacks::AttackKind::kDynamic,
+      attacks::AttackKind::kAdapBlend, attacks::AttackKind::kAdapPatch};
+  return kinds;
+}
+
+/// BPROM AUROC/F1 for one (source, attack) cell; reuses a fitted detector.
+struct CellResult {
+  double auroc = 0.5;
+  double f1 = 0.0;
+  double mean_asr = 0.0;
+  double mean_acc = 0.0;
+};
+
+inline CellResult bprom_cell(const core::BpromDetector& detector,
+                             const data::Dataset& source,
+                             attacks::AttackKind kind, nn::ArchKind arch,
+                             std::uint64_t seed,
+                             const core::ExperimentScale& scale) {
+  auto atk = attacks::AttackConfig::defaults(kind);
+  auto population = core::build_population(source, atk, arch,
+                                           scale.population_per_side, seed,
+                                           scale);
+  auto scores = core::score_population(detector, population);
+  CellResult cell;
+  cell.auroc = scores.auroc();
+  cell.f1 = scores.f1();
+  std::size_t nb = 0;
+  for (const auto& m : population) {
+    if (m.backdoored) {
+      cell.mean_asr += m.asr;
+      ++nb;
+    }
+    cell.mean_acc += m.clean_accuracy;
+  }
+  if (nb > 0) cell.mean_asr /= static_cast<double>(nb);
+  cell.mean_acc /= static_cast<double>(population.size());
+  return cell;
+}
+
+/// Baseline defense AUROC for one (model, attack) cell in its own regime.
+inline defenses::DefenseEval baseline_cell(defenses::DefenseKind kind,
+                                           const data::Dataset& source,
+                                           attacks::AttackKind attack_kind,
+                                           nn::ArchKind arch,
+                                           std::uint64_t seed,
+                                           const core::ExperimentScale& scale,
+                                           std::size_t n_eval = 40) {
+  util::Rng rng(seed);
+  auto atk = attacks::AttackConfig::defaults(attack_kind);
+  switch (defenses::regime_of(kind)) {
+    case defenses::DefenseRegime::kInputLevel: {
+      auto model = core::train_backdoored_model(source, atk, arch, seed, scale);
+      return defenses::evaluate_input_level(kind, *model.model, source.test,
+                                            atk, n_eval, rng);
+    }
+    case defenses::DefenseRegime::kDataLevel: {
+      util::Rng drng(seed ^ 0xDA7AULL);
+      auto train = data::subset(
+          source.train, drng.sample_without_replacement(
+                            source.train.size(),
+                            std::min(scale.suspicious_train,
+                                     source.train.size())));
+      auto poisoned = attacks::poison_dataset(train, atk, drng);
+      util::Rng mrng(seed ^ 0x30DE1ULL);
+      auto model = nn::make_model(arch, source.profile.shape,
+                                  source.profile.classes, mrng);
+      nn::TrainConfig tc;
+      tc.epochs = scale.suspicious_epochs;
+      tc.seed = mrng.next_u64();
+      nn::train_classifier(*model, poisoned.data, tc);
+      return defenses::evaluate_data_level(kind, *model, poisoned,
+                                           source.profile.classes, rng);
+    }
+    case defenses::DefenseRegime::kModelLevel: {
+      // MM-BD: score a small model population.
+      auto population = core::build_population(
+          source, atk, arch, scale.population_per_side, seed, scale);
+      std::vector<double> scores;
+      std::vector<int> labels;
+      for (auto& m : population) {
+        scores.push_back(defenses::mmbd_model_score(*m.model));
+        labels.push_back(m.backdoored ? 1 : 0);
+      }
+      defenses::DefenseEval eval;
+      eval.auroc = metrics::auroc(scores, labels);
+      eval.f1 = metrics::best_f1(scores, labels);
+      return eval;
+    }
+  }
+  return {};
+}
+
+inline void print_elapsed(const util::Stopwatch& clock, const char* what) {
+  std::printf("[%7.1fs] %s\n", clock.seconds(), what);
+}
+
+}  // namespace bench

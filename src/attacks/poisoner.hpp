@@ -1,0 +1,50 @@
+// Poisoning pipeline: builds D_P from a clean dataset per the paper's
+// three-step recipe (extract D_E, stamp + relabel, recombine), including
+// cover samples for the adaptive attacks and the clean-label restriction
+// for SIG / LC.  Also evaluates attack success rate (ASR).
+#pragma once
+
+#include <vector>
+
+#include "attacks/triggers.hpp"
+#include "data/ops.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::attacks {
+
+using nn::LabeledData;
+
+struct PoisonStats {
+  std::size_t poisoned = 0;  // stamped + relabeled
+  std::size_t covered = 0;   // stamped, label kept
+  std::size_t total = 0;
+};
+
+struct PoisonResult {
+  LabeledData data;
+  PoisonStats stats;
+  /// Per-sample ground truth for defense evaluation: 1 where the sample was
+  /// stamped + relabeled (poison), 0 otherwise (cover samples count as 0 —
+  /// they carry their true label, which is exactly what makes the adaptive
+  /// attacks hard for data-cleaning defenses).
+  std::vector<char> poison_mask;
+  std::vector<char> cover_mask;
+};
+
+/// Build the poisoned training set for one attack.
+PoisonResult poison_dataset(const LabeledData& clean,
+                            const AttackConfig& config, util::Rng& rng);
+
+/// Multi-trigger poisoning (Table 2's multiple-target-class experiment):
+/// each config contributes its own trigger and target class.
+PoisonResult poison_dataset_multi(const LabeledData& clean,
+                                  const std::vector<AttackConfig>& configs,
+                                  util::Rng& rng);
+
+/// Attack success rate: fraction of non-target-class test samples that the
+/// model classifies as the target class once the trigger is stamped.
+double attack_success_rate(nn::Model& model, const LabeledData& clean_test,
+                           const AttackConfig& config);
+
+}  // namespace bprom::attacks

@@ -1,0 +1,52 @@
+// Trigger application engine.
+//
+// TriggerEngine precomputes the (seeded) trigger artifacts for one attack
+// configuration — patch pattern, blend noise, warp field, sinusoid, ghost
+// image — and stamps them onto images in place.  Sample-specific attacks
+// derive per-image state from an image content hash, exactly because that
+// is what defeats universal-trigger defenses.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bprom::attacks {
+
+using tensor::Tensor;
+
+class TriggerEngine {
+ public:
+  TriggerEngine(const AttackConfig& config, nn::ImageShape shape);
+
+  /// Stamp the trigger onto sample `index` of the batch, in place.
+  void apply(Tensor& images, std::size_t index) const;
+
+  /// Stamp all samples of a batch, in place.
+  void apply_all(Tensor& images) const;
+
+  [[nodiscard]] const AttackConfig& config() const { return config_; }
+  [[nodiscard]] const nn::ImageShape& shape() const { return shape_; }
+
+ private:
+  void apply_patch(float* img, const Tensor& pattern, std::size_t top,
+                   std::size_t left, std::size_t side, double alpha) const;
+  void apply_badnets(float* img) const;
+  void apply_blend(float* img) const;
+  void apply_trojan(float* img) const;
+  void apply_wanet(float* img) const;
+  void apply_dynamic(float* img) const;
+  void apply_bpp(float* img) const;
+  void apply_sig(float* img) const;
+  void apply_lc(float* img) const;
+  void apply_refool(float* img) const;
+  void apply_poison_ink(float* img) const;
+
+  AttackConfig config_;
+  nn::ImageShape shape_;
+  Tensor patch_pattern_;          // [C, s, s] for patch attacks
+  Tensor blend_noise_;            // [C, H, W] for blend / refool ghost
+  std::vector<float> warp_dx_;    // [H*W] displacement field (WaNet)
+  std::vector<float> warp_dy_;
+};
+
+}  // namespace bprom::attacks

@@ -1,0 +1,263 @@
+#include "core/bprom.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "data/ops.hpp"
+#include "util/log.hpp"
+
+namespace bprom::core {
+
+BpromDetector::BpromDetector(BpromConfig config)
+    : config_(std::move(config)), forest_(config_.forest) {}
+
+std::vector<float> BpromDetector::meta_feature_vector(
+    const nn::BlackBoxModel& model, const vp::VisualPrompt& prompt) const {
+  vp::PromptedModel prompted(model, prompt);
+  prompted.set_label_mapping(vp::fit_frequency_label_mapping(
+      prompted, target_train_, target_classes_));
+  nn::Tensor probs = prompted.predict_proba(query_set_.images);
+  assert(probs.dim(1) == source_classes_);
+
+  const std::size_t q = query_set_.size();
+  const std::size_t k = source_classes_;
+  std::vector<float> features;
+  features.reserve(q * (k + 1) + target_classes_ + 8);
+  const auto& mapping = prompted.label_mapping();
+
+  // Block 1 — the paper's Algorithm 1 features: the q query confidence
+  // vectors, plus the per-query probability mass on the class the learned
+  // output mapping expects (the per-query form of prompted accuracy).
+  for (std::size_t i = 0; i < q; ++i) {
+    std::vector<float> row(probs.data() + i * k, probs.data() + (i + 1) * k);
+    const auto label = static_cast<std::size_t>(query_set_.labels[i]);
+    features.push_back(row[static_cast<std::size_t>(mapping[label])]);
+    if (!config_.include_query_features) continue;
+    if (config_.sort_confidence_features) {
+      std::sort(row.begin(), row.end(), std::greater<float>());
+    }
+    features.insert(features.end(), row.begin(), row.end());
+  }
+
+  // Block 2 — distribution-level class-subspace-inconsistency summaries
+  // over the full D_T sets (low-variance forms of the paper's signal; see
+  // DESIGN.md §2).  All derive from black-box confidence vectors.
+  nn::Tensor train_probs = prompted.predict_proba(target_train_.images);
+  std::vector<std::size_t> pred_hist(k, 0);
+  std::vector<std::vector<std::size_t>> confusion(
+      target_classes_, std::vector<std::size_t>(k, 0));
+  double mean_max = 0.0;
+  double mean_entropy = 0.0;
+  const std::size_t n_train = target_train_.size();
+  for (std::size_t i = 0; i < n_train; ++i) {
+    const float* row = train_probs.data() + i * k;
+    std::size_t arg = 0;
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (row[j] > row[arg]) arg = j;
+      if (row[j] > 1e-9F) {
+        entropy -= static_cast<double>(row[j]) *
+                   std::log(static_cast<double>(row[j]));
+      }
+    }
+    ++pred_hist[arg];
+    ++confusion[static_cast<std::size_t>(target_train_.labels[i])][arg];
+    mean_max += row[arg];
+    mean_entropy += entropy;
+  }
+  // Dominance: mass of the most-predicted source class ("target class
+  // adjacent to all others" concentrates predictions).
+  const double dominance =
+      static_cast<double>(
+          *std::max_element(pred_hist.begin(), pred_hist.end())) /
+      static_cast<double>(n_train);
+  // Collisions: how many target classes share their most-frequent source
+  // prediction with another target class (subspace merging).
+  std::vector<std::size_t> raw_map(target_classes_);
+  for (std::size_t t = 0; t < target_classes_; ++t) {
+    raw_map[t] = static_cast<std::size_t>(
+        std::max_element(confusion[t].begin(), confusion[t].end()) -
+        confusion[t].begin());
+  }
+  std::vector<std::size_t> distinct = raw_map;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  const double collisions = static_cast<double>(target_classes_ -
+                                                distinct.size()) /
+                            static_cast<double>(target_classes_);
+  // Per-class mapped accuracy profile on D_T^train, sorted ascending:
+  // a poisoned source model caps several classes near zero.
+  std::vector<float> class_acc(target_classes_, 0.0F);
+  std::vector<std::size_t> class_n(target_classes_, 0);
+  for (std::size_t i = 0; i < n_train; ++i) {
+    const float* row = train_probs.data() + i * k;
+    std::size_t arg = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (row[j] > row[arg]) arg = j;
+    }
+    const auto t = static_cast<std::size_t>(target_train_.labels[i]);
+    ++class_n[t];
+    if (static_cast<int>(arg) == mapping[t]) class_acc[t] += 1.0F;
+  }
+  for (std::size_t t = 0; t < target_classes_; ++t) {
+    if (class_n[t] > 0) class_acc[t] /= static_cast<float>(class_n[t]);
+  }
+  std::sort(class_acc.begin(), class_acc.end());
+
+  features.push_back(static_cast<float>(dominance));
+  features.push_back(static_cast<float>(collisions));
+  features.push_back(static_cast<float>(mean_max / n_train));
+  features.push_back(static_cast<float>(mean_entropy / n_train));
+  features.insert(features.end(), class_acc.begin(), class_acc.end());
+  return features;
+}
+
+void BpromDetector::fit(const nn::LabeledData& reserved_clean,
+                        std::size_t source_classes,
+                        const nn::LabeledData& target_train,
+                        const nn::LabeledData& target_test) {
+  assert(reserved_clean.size() > 0 && target_train.size() > 0 &&
+         target_test.size() > 0);
+  source_classes_ = source_classes;
+  target_train_ = target_train;
+  target_test_ = target_test;
+  target_classes_ = 0;
+  for (int label : target_train.labels) {
+    target_classes_ =
+        std::max(target_classes_, static_cast<std::size_t>(label) + 1);
+  }
+  assert(target_classes_ <= source_classes_ &&
+         "identity/frequency output mapping requires K_T <= K_S");
+  diag_ = FitDiagnostics{};
+
+  util::Rng rng(config_.seed);
+  const nn::ImageShape shape{reserved_clean.images.dim(1),
+                             reserved_clean.images.dim(2),
+                             reserved_clean.images.dim(3)};
+
+  // D_Q: fixed random query samples from D_T^test.
+  const std::size_t q = std::min(config_.query_samples, target_test.size());
+  query_set_ = data::subset(
+      target_test, rng.sample_without_replacement(target_test.size(), q));
+
+  const std::size_t total =
+      config_.clean_shadows + config_.backdoor_shadows;
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  features.reserve(total);
+  labels.reserve(total);
+
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool is_backdoor = i >= config_.clean_shadows;
+    util::Rng model_rng = rng.split(i + 1);
+
+    nn::LabeledData train_set = reserved_clean;
+    if (is_backdoor) {
+      // Sample a fresh trigger combination (m, t, alpha, y_t) per shadow.
+      attacks::AttackConfig atk =
+          attacks::AttackConfig::defaults(config_.shadow_attack);
+      atk.poison_rate = config_.shadow_poison_rate;
+      atk.target_class =
+          static_cast<int>(model_rng.uniform_index(source_classes_));
+      atk.seed = model_rng.next_u64();
+      train_set = attacks::poison_dataset(reserved_clean, atk, model_rng).data;
+    }
+
+    auto shadow = nn::make_model(config_.shadow_arch, shape, source_classes_,
+                                 model_rng);
+    nn::TrainConfig tc = config_.shadow_train;
+    tc.seed = model_rng.next_u64();
+    nn::train_classifier(*shadow, train_set, tc);
+
+    nn::BlackBoxAdapter adapter(*shadow);
+    const std::size_t ensemble = std::max<std::size_t>(1, config_.prompt_ensemble);
+    std::vector<float> mean_feature;
+    double acc = 0.0;
+    for (std::size_t r = 0; r < ensemble; ++r) {
+      vp::VisualPrompt prompt = [&] {
+        if (config_.prompt_shadows_blackbox) {
+          vp::BlackBoxPromptConfig pc = config_.prompt_blackbox;
+          pc.seed = model_rng.next_u64();
+          return vp::learn_prompt_blackbox(adapter, target_train_, pc).prompt;
+        }
+        vp::WhiteBoxPromptConfig pc = config_.prompt_whitebox;
+        pc.seed = model_rng.next_u64();
+        return vp::learn_prompt_whitebox(*shadow, target_train_, pc);
+      }();
+
+      vp::PromptedModel prompted(adapter, prompt);
+      prompted.set_label_mapping(vp::fit_frequency_label_mapping(
+          prompted, target_train_, target_classes_));
+      acc += prompted.accuracy(target_test_);
+
+      auto feature = meta_feature_vector(adapter, prompt);
+      if (mean_feature.empty()) {
+        mean_feature = std::move(feature);
+      } else {
+        for (std::size_t j = 0; j < mean_feature.size(); ++j) {
+          mean_feature[j] += feature[j];
+        }
+      }
+    }
+    for (auto& v : mean_feature) v /= static_cast<float>(ensemble);
+    acc /= static_cast<double>(ensemble);
+    if (is_backdoor) {
+      diag_.backdoor_shadow_prompted_accuracy.push_back(acc);
+    } else {
+      diag_.clean_shadow_prompted_accuracy.push_back(acc);
+    }
+
+    features.push_back(std::move(mean_feature));
+    labels.push_back(is_backdoor ? 1 : 0);
+    util::log_debug() << "shadow " << i << (is_backdoor ? " (backdoor)" : " (clean)")
+                      << " prompted acc " << acc;
+  }
+
+  forest_ = meta::RandomForest(config_.forest);
+  forest_.fit(features, labels);
+  diag_.meta_features = std::move(features);
+  diag_.meta_labels = std::move(labels);
+  fitted_ = true;
+}
+
+Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious) const {
+  assert(fitted_);
+  assert(suspicious.num_classes() == source_classes_);
+  const std::size_t queries_before = suspicious.query_count();
+
+  // Black-box prompt learning (CMA-ES) — the only access to the suspicious
+  // model is confidence-vector queries.  An ensemble of independently
+  // seeded prompts suppresses prompt-optimization noise.
+  Verdict verdict;
+  const std::size_t ensemble = std::max<std::size_t>(1, config_.prompt_ensemble);
+  std::vector<float> mean_feature;
+  for (std::size_t r = 0; r < ensemble; ++r) {
+    vp::BlackBoxPromptConfig pc = config_.prompt_blackbox;
+    pc.seed = config_.prompt_blackbox.seed + 7919 * (r + 1);
+    auto bb = vp::learn_prompt_blackbox(suspicious, target_train_, pc);
+
+    auto feature = meta_feature_vector(suspicious, bb.prompt);
+    if (mean_feature.empty()) {
+      mean_feature = std::move(feature);
+    } else {
+      for (std::size_t j = 0; j < mean_feature.size(); ++j) {
+        mean_feature[j] += feature[j];
+      }
+    }
+    vp::PromptedModel prompted(suspicious, bb.prompt);
+    prompted.set_label_mapping(vp::fit_frequency_label_mapping(
+        prompted, target_train_, target_classes_));
+    verdict.prompted_accuracy += prompted.accuracy(target_test_);
+  }
+  for (auto& v : mean_feature) v /= static_cast<float>(ensemble);
+  verdict.prompted_accuracy /= static_cast<double>(ensemble);
+  verdict.score = forest_.predict_proba(mean_feature);
+  verdict.backdoored = verdict.score >= 0.5;
+  verdict.queries = suspicious.query_count() - queries_before;
+  return verdict;
+}
+
+}  // namespace bprom::core

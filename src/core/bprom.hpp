@@ -1,0 +1,124 @@
+// BPROM — black-box model-level backdoor detection via visual prompting.
+//
+// Pipeline (paper Algorithm 1):
+//   1. Shadow model generation: n clean + (M - n) backdoored shadow models
+//      trained on the reserved clean set D_S (backdoored ones on poisoned
+//      copies, a *single* attack type suffices — the class-subspace
+//      inconsistency is attack-agnostic).
+//   2. Prompting: learn a visual prompt per shadow model on the external
+//      clean set D_T (white-box backprop — the defender owns the shadows).
+//   3. Meta-model: concatenate q prompted confidence vectors per shadow on
+//      a fixed query set D_Q ⊂ D_T^test; train a random forest.
+// Detection: prompt the suspicious model black-box (CMA-ES), collect the
+// same q confidence vectors, ask the forest.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "attacks/poisoner.hpp"
+#include "meta/random_forest.hpp"
+#include "nn/arch.hpp"
+#include "nn/blackbox.hpp"
+#include "vp/train_blackbox.hpp"
+#include "vp/train_whitebox.hpp"
+
+namespace bprom::core {
+
+struct BpromConfig {
+  nn::ArchKind shadow_arch = nn::ArchKind::kResNet18Mini;
+  std::size_t clean_shadows = 10;
+  std::size_t backdoor_shadows = 10;
+  /// Single attack used to poison shadow training sets (paper §5.3: one
+  /// attack type suffices, unlike MNTD).
+  attacks::AttackKind shadow_attack = attacks::AttackKind::kBadNets;
+  /// Defender-chosen poison rate for shadow poisoning.
+  double shadow_poison_rate = 0.30;
+  /// q: number of query samples whose confidence vectors feed the forest.
+  std::size_t query_samples = 16;
+  nn::TrainConfig shadow_train{};
+  vp::WhiteBoxPromptConfig prompt_whitebox{};
+  vp::BlackBoxPromptConfig prompt_blackbox{};
+  meta::ForestConfig forest{};
+  /// Prompt shadow models with the same black-box optimizer used for the
+  /// suspicious model (instead of white-box backprop).  Keeps the meta
+  /// features in one optimization regime; the white-box path remains for
+  /// the prompted-accuracy analyses (ablated in bench_ablations).
+  bool prompt_shadows_blackbox = true;
+  /// Number of independent prompts learned per inspected model; the meta
+  /// features are averaged across the ensemble to suppress prompt-seed
+  /// noise (ablated in bench_ablations).
+  std::size_t prompt_ensemble = 2;
+  /// Include the raw q-query confidence-vector block in the meta features
+  /// (Algorithm 1's features), alongside the distribution-level summaries.
+  /// On by default — the measured ablation (bench_ablations) favours the
+  /// combined feature set; disable to use summaries only.
+  bool include_query_features = true;
+  /// Sort each query's confidence vector descending before concatenation.
+  /// Makes the meta features invariant to which class the attacker targets
+  /// (the paper compensates with many more trees/shadows; see DESIGN.md §2).
+  bool sort_confidence_features = true;
+  std::uint64_t seed = 29;
+};
+
+struct Verdict {
+  /// Forest P(backdoor).
+  double score = 0.0;
+  bool backdoored = false;
+  /// Prompted-model accuracy on D_T^test (the diagnostic the paper's
+  /// class-subspace-inconsistency analysis is built on).
+  double prompted_accuracy = 0.0;
+  /// Black-box queries spent on this inspection.
+  std::size_t queries = 0;
+};
+
+/// Diagnostics captured during fit() for analysis benches / figures.
+struct FitDiagnostics {
+  std::vector<double> clean_shadow_prompted_accuracy;
+  std::vector<double> backdoor_shadow_prompted_accuracy;
+  /// Meta features per shadow (clean shadows first).
+  std::vector<std::vector<float>> meta_features;
+  std::vector<int> meta_labels;
+};
+
+class BpromDetector {
+ public:
+  explicit BpromDetector(BpromConfig config = {});
+
+  /// Train the detector.
+  ///   reserved_clean — D_S (the small clean set from the source task)
+  ///   source_classes — K_S (class count of the suspicious model's task)
+  ///   target_train/target_test — D_T split (external clean dataset)
+  void fit(const nn::LabeledData& reserved_clean, std::size_t source_classes,
+           const nn::LabeledData& target_train,
+           const nn::LabeledData& target_test);
+
+  /// Inspect a suspicious model through black-box queries only.
+  [[nodiscard]] Verdict inspect(const nn::BlackBoxModel& suspicious) const;
+
+  /// Threshold-free convenience: the raw backdoor score in [0, 1].
+  [[nodiscard]] double score(const nn::BlackBoxModel& suspicious) const {
+    return inspect(suspicious).score;
+  }
+
+  [[nodiscard]] const FitDiagnostics& diagnostics() const { return diag_; }
+  [[nodiscard]] const BpromConfig& config() const { return config_; }
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+ private:
+  [[nodiscard]] std::vector<float> meta_feature_vector(
+      const nn::BlackBoxModel& model, const vp::VisualPrompt& prompt) const;
+
+  BpromConfig config_;
+  bool fitted_ = false;
+  std::size_t source_classes_ = 0;
+  std::size_t target_classes_ = 0;
+  nn::LabeledData target_train_;
+  nn::LabeledData target_test_;
+  nn::LabeledData query_set_;  // D_Q
+  meta::RandomForest forest_;
+  FitDiagnostics diag_;
+};
+
+}  // namespace bprom::core

@@ -1,0 +1,87 @@
+#include "data/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bprom::data {
+
+LabeledData subset(const LabeledData& data,
+                   const std::vector<std::size_t>& idx) {
+  assert(data.size() > 0);
+  const std::size_t sample = data.images.size() / data.size();
+  std::vector<std::size_t> shape = data.images.shape();
+  shape[0] = idx.size();
+  LabeledData out;
+  out.images = nn::Tensor(shape);
+  out.labels.resize(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    assert(idx[i] < data.size());
+    std::copy(data.images.data() + idx[i] * sample,
+              data.images.data() + (idx[i] + 1) * sample,
+              out.images.data() + i * sample);
+    out.labels[i] = data.labels[idx[i]];
+  }
+  return out;
+}
+
+LabeledData sample_fraction(const LabeledData& data, double fraction,
+                            util::Rng& rng) {
+  const auto k = static_cast<std::size_t>(
+      std::max(1.0, std::round(fraction * static_cast<double>(data.size()))));
+  return subset(data, rng.sample_without_replacement(data.size(),
+                                                     std::min(k, data.size())));
+}
+
+LabeledData concat(const LabeledData& a, const LabeledData& b) {
+  if (a.size() == 0) return b;
+  if (b.size() == 0) return a;
+  const std::size_t sample = a.images.size() / a.size();
+  assert(sample == b.images.size() / b.size());
+  std::vector<std::size_t> shape = a.images.shape();
+  shape[0] = a.size() + b.size();
+  LabeledData out;
+  out.images = nn::Tensor(shape);
+  out.labels = a.labels;
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  std::copy(a.images.vec().begin(), a.images.vec().end(),
+            out.images.data());
+  std::copy(b.images.vec().begin(), b.images.vec().end(),
+            out.images.data() + a.images.size());
+  return out;
+}
+
+nn::Tensor downscale2x(const nn::Tensor& images) {
+  assert(images.rank() == 4);
+  const std::size_t n = images.dim(0);
+  const std::size_t c = images.dim(1);
+  const std::size_t h = images.dim(2);
+  const std::size_t w = images.dim(3);
+  nn::Tensor out({n, c, h / 2, w / 2});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h / 2; ++y) {
+        for (std::size_t x = 0; x < w / 2; ++x) {
+          const float acc = images.at4(b, ch, 2 * y, 2 * x) +
+                            images.at4(b, ch, 2 * y + 1, 2 * x) +
+                            images.at4(b, ch, 2 * y, 2 * x + 1) +
+                            images.at4(b, ch, 2 * y + 1, 2 * x + 1);
+          out.at4(b, ch, y, x) = acc * 0.25F;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> class_histogram(const LabeledData& data,
+                                         std::size_t classes) {
+  std::vector<std::size_t> hist(classes, 0);
+  for (int label : data.labels) {
+    assert(label >= 0 && static_cast<std::size_t>(label) < classes);
+    ++hist[static_cast<std::size_t>(label)];
+  }
+  return hist;
+}
+
+}  // namespace bprom::data

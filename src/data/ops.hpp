@@ -1,0 +1,30 @@
+// Dataset manipulation helpers: subsets, fractions, concatenation, resize.
+#pragma once
+
+#include <vector>
+
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::data {
+
+using nn::LabeledData;
+
+/// Copy the samples at `idx`.
+LabeledData subset(const LabeledData& data, const std::vector<std::size_t>& idx);
+
+/// Random fraction (the paper's reserved clean set D_S = 1/5/10 % of test).
+LabeledData sample_fraction(const LabeledData& data, double fraction,
+                            util::Rng& rng);
+
+/// Concatenate two sets with identical image shapes.
+LabeledData concat(const LabeledData& a, const LabeledData& b);
+
+/// 2x2 average-pool downscale (for VP resizing of target images).
+nn::Tensor downscale2x(const nn::Tensor& images);
+
+/// Count of samples per class.
+std::vector<std::size_t> class_histogram(const LabeledData& data,
+                                         std::size_t classes);
+
+}  // namespace bprom::data

@@ -1,0 +1,51 @@
+// Training-data-level baseline defenses: score each training sample's
+// likelihood of being a poison, given the (suspicious) model trained on it.
+// AUROC is computed against the poisoner's ground-truth mask.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::defenses {
+
+using nn::LabeledData;
+
+/// AC — Activation Clustering (Chen et al. 2018): per class, 2-means on
+/// penultimate activations; samples in the smaller cluster of a class with
+/// a strong silhouette are suspicious.
+std::vector<double> ac_sample_scores(nn::Model& model,
+                                     const LabeledData& train,
+                                     std::size_t classes, util::Rng& rng);
+
+/// SS — Spectral Signatures (Tran et al. 2018): per class, squared
+/// projection onto the top singular direction of centered activations.
+std::vector<double> ss_sample_scores(nn::Model& model,
+                                     const LabeledData& train,
+                                     std::size_t classes);
+
+/// SPECTRE (Hayase et al. 2021): whiten activations per class, then score by
+/// the QUE-style amplified projection (robust covariance approximated by
+/// the diagonal + top-direction amplification).
+std::vector<double> spectre_sample_scores(nn::Model& model,
+                                          const LabeledData& train,
+                                          std::size_t classes);
+
+/// SCAn (Tang et al. 2021): per-class two-component untangling; score =
+/// gain of a two-mean model over a one-mean model along the top deviation
+/// direction (likelihood-ratio surrogate).
+std::vector<double> scan_sample_scores(nn::Model& model,
+                                       const LabeledData& train,
+                                       std::size_t classes);
+
+/// CT — Confusion Training (Qi et al. 2023): co-train a proxy on the
+/// training set with randomized-label confusion batches; poisoned samples
+/// are the ones the confused proxy still fits (the trigger shortcut survives
+/// label noise).  Score = post-confusion margin toward the sample's label.
+std::vector<double> ct_sample_scores(nn::Model& model,
+                                     const LabeledData& train,
+                                     std::size_t classes, util::Rng& rng);
+
+}  // namespace bprom::defenses

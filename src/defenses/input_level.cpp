@@ -1,0 +1,380 @@
+#include "defenses/input_level.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/stats.hpp"
+#include "nn/loss.hpp"
+
+namespace bprom::defenses {
+namespace {
+
+Tensor single(const Tensor& batch, std::size_t i) {
+  const std::size_t sample = batch.size() / batch.dim(0);
+  std::vector<std::size_t> shape = batch.shape();
+  shape[0] = 1;
+  Tensor out(shape);
+  std::copy(batch.data() + i * sample, batch.data() + (i + 1) * sample,
+            out.data());
+  return out;
+}
+
+int argmax_row(const float* row, std::size_t k) {
+  std::size_t arg = 0;
+  for (std::size_t j = 1; j < k; ++j) {
+    if (row[j] > row[arg]) arg = j;
+  }
+  return static_cast<int>(arg);
+}
+
+}  // namespace
+
+std::vector<double> strip_scores(nn::Model& model, const Tensor& inputs,
+                                 const LabeledData& clean_reference,
+                                 util::Rng& rng, std::size_t overlays) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t k = model.num_classes();
+  const std::size_t sample = inputs.size() / n;
+  const std::size_t ref_n = clean_reference.size();
+  assert(ref_n > 0);
+
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Build the superimposed batch for input i.
+    std::vector<std::size_t> shape = inputs.shape();
+    shape[0] = overlays;
+    Tensor blended(shape);
+    for (std::size_t o = 0; o < overlays; ++o) {
+      const std::size_t r = rng.uniform_index(ref_n);
+      const float* a = inputs.data() + i * sample;
+      const float* b = clean_reference.images.data() + r * sample;
+      float* dst = blended.data() + o * sample;
+      for (std::size_t p = 0; p < sample; ++p) {
+        dst[p] = 0.5F * a[p] + 0.5F * b[p];
+      }
+    }
+    Tensor probs = model.predict_proba(blended);
+    double mean_entropy = 0.0;
+    for (std::size_t o = 0; o < overlays; ++o) {
+      std::vector<double> row(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        row[j] = probs.data()[o * k + j];
+      }
+      mean_entropy += linalg::entropy(row);
+    }
+    scores[i] = -mean_entropy / static_cast<double>(overlays);
+  }
+  return scores;
+}
+
+std::vector<double> sentinet_scores(nn::Model& model, const Tensor& inputs,
+                                    const LabeledData& clean_reference,
+                                    std::size_t occluder,
+                                    std::size_t transplant_targets) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t c = inputs.dim(1);
+  const std::size_t h = inputs.dim(2);
+  const std::size_t w = inputs.dim(3);
+  const std::size_t sample = inputs.size() / n;
+  const std::size_t k = model.num_classes();
+  std::vector<double> scores(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor base = single(inputs, i);
+    Tensor base_probs = model.predict_proba(base);
+    const int pred = argmax_row(base_probs.data(), k);
+
+    // Occlusion sensitivity: find the grid cell whose occlusion drops the
+    // predicted-class confidence the most.
+    double best_drop = -1.0;
+    std::size_t best_y = 0;
+    std::size_t best_x = 0;
+    for (std::size_t oy = 0; oy + occluder <= h; oy += occluder) {
+      for (std::size_t ox = 0; ox + occluder <= w; ox += occluder) {
+        Tensor occluded = base;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          for (std::size_t y = 0; y < occluder; ++y) {
+            for (std::size_t x = 0; x < occluder; ++x) {
+              occluded.at4(0, ch, oy + y, ox + x) = 0.5F;
+            }
+          }
+        }
+        Tensor probs = model.predict_proba(occluded);
+        const double drop =
+            base_probs.data()[static_cast<std::size_t>(pred)] -
+            probs.data()[static_cast<std::size_t>(pred)];
+        if (drop > best_drop) {
+          best_drop = drop;
+          best_y = oy;
+          best_x = ox;
+        }
+      }
+    }
+
+    // Transplant the critical region onto held-out clean images.
+    const std::size_t m =
+        std::min(transplant_targets, clean_reference.size());
+    std::size_t fooled = 0;
+    for (std::size_t t = 0; t < m; ++t) {
+      Tensor host = single(clean_reference.images, t);
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t y = 0; y < occluder; ++y) {
+          for (std::size_t x = 0; x < occluder; ++x) {
+            host.at4(0, ch, best_y + y, best_x + x) =
+                inputs.data()[i * sample +
+                              (ch * h + best_y + y) * w + best_x + x];
+          }
+        }
+      }
+      Tensor probs = model.predict_proba(host);
+      if (argmax_row(probs.data(), k) == pred) ++fooled;
+    }
+    scores[i] = static_cast<double>(fooled) / static_cast<double>(m);
+  }
+  return scores;
+}
+
+std::vector<double> frequency_scores(const Tensor& inputs) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t c = inputs.dim(1);
+  const std::size_t h = inputs.dim(2);
+  const std::size_t w = inputs.dim(3);
+  std::vector<double> scores(n, 0.0);
+  // Separable DCT-II basis.
+  auto dct_basis = [&](std::size_t u, std::size_t x, std::size_t len) {
+    return std::cos(3.14159265358979 * (static_cast<double>(x) + 0.5) *
+                    static_cast<double>(u) / static_cast<double>(len));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    double high = 0.0;
+    double total = 1e-12;
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t u = 0; u < h; ++u) {
+        for (std::size_t v = 0; v < w; ++v) {
+          double coef = 0.0;
+          for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+              coef += static_cast<double>(inputs.at4(i, ch, y, x)) *
+                      dct_basis(u, y, h) * dct_basis(v, x, w);
+            }
+          }
+          const double energy = coef * coef;
+          total += energy;
+          if (u + v >= (h + w) / 2) high += energy;
+        }
+      }
+    }
+    scores[i] = high / total;
+  }
+  return scores;
+}
+
+std::vector<double> scaleup_scores(nn::Model& model, const Tensor& inputs) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t k = model.num_classes();
+  const std::size_t sample = inputs.size() / n;
+
+  Tensor base_probs = model.predict_proba(inputs);
+  std::vector<int> base_pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_pred[i] = argmax_row(base_probs.data() + i * k, k);
+  }
+
+  std::vector<double> consistent(n, 0.0);
+  constexpr int kScales[] = {2, 3, 4, 5};
+  for (int s : kScales) {
+    Tensor scaled(inputs.shape());
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+      scaled.vec()[p] =
+          std::clamp(inputs.vec()[p] * static_cast<float>(s), 0.0F, 1.0F);
+    }
+    Tensor probs = model.predict_proba(scaled);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (argmax_row(probs.data() + i * k, k) == base_pred[i]) {
+        consistent[i] += 1.0;
+      }
+    }
+  }
+  (void)sample;
+  for (auto& v : consistent) v /= 4.0;
+  return consistent;
+}
+
+std::vector<double> teco_scores(nn::Model& model, const Tensor& inputs,
+                                util::Rng& rng) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t k = model.num_classes();
+  const std::size_t c = inputs.dim(1);
+  const std::size_t h = inputs.dim(2);
+  const std::size_t w = inputs.dim(3);
+
+  Tensor base_probs = model.predict_proba(inputs);
+  std::vector<int> base_pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_pred[i] = argmax_row(base_probs.data() + i * k, k);
+  }
+
+  constexpr std::size_t kSeverities = 4;
+  constexpr std::size_t kFamilies = 3;  // noise, blur, quantize
+  // first_flip[f][i] = severity (1..S) at which prediction first flips,
+  // S + 1 when it never flips.
+  std::vector<std::vector<double>> first_flip(
+      kFamilies, std::vector<double>(n, kSeverities + 1));
+
+  for (std::size_t fam = 0; fam < kFamilies; ++fam) {
+    for (std::size_t sev = 1; sev <= kSeverities; ++sev) {
+      Tensor corrupted = inputs;
+      const double strength = static_cast<double>(sev);
+      if (fam == 0) {
+        // Gaussian noise.
+        for (auto& v : corrupted.vec()) {
+          v = std::clamp(
+              v + static_cast<float>(rng.normal(0.0, 0.05 * strength)), 0.0F,
+              1.0F);
+        }
+      } else if (fam == 1) {
+        // Box blur with growing radius (1 pass per severity).
+        for (std::size_t pass = 0; pass < sev; ++pass) {
+          Tensor blurred = corrupted;
+          for (std::size_t b = 0; b < n; ++b) {
+            for (std::size_t ch = 0; ch < c; ++ch) {
+              for (std::size_t y = 1; y + 1 < h; ++y) {
+                for (std::size_t x = 1; x + 1 < w; ++x) {
+                  float acc = 0.0F;
+                  for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                      acc += corrupted.at4(
+                          b, ch, static_cast<std::size_t>(static_cast<int>(y) + dy),
+                          static_cast<std::size_t>(static_cast<int>(x) + dx));
+                    }
+                  }
+                  blurred.at4(b, ch, y, x) = acc / 9.0F;
+                }
+              }
+            }
+          }
+          corrupted = blurred;
+        }
+      } else {
+        // Quantization: fewer levels at higher severity.
+        const float levels = 8.0F / static_cast<float>(sev);
+        for (auto& v : corrupted.vec()) {
+          v = std::clamp(std::round(v * levels) / levels, 0.0F, 1.0F);
+        }
+      }
+      Tensor probs = model.predict_proba(corrupted);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (first_flip[fam][i] > kSeverities &&
+            argmax_row(probs.data() + i * k, k) != base_pred[i]) {
+          first_flip[fam][i] = static_cast<double>(sev);
+        }
+      }
+    }
+  }
+
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> flips(kFamilies);
+    for (std::size_t fam = 0; fam < kFamilies; ++fam) {
+      flips[fam] = first_flip[fam][i];
+    }
+    scores[i] = linalg::stddev(flips);
+  }
+  return scores;
+}
+
+std::vector<double> ted_scores(nn::Model& model, const Tensor& inputs,
+                               const LabeledData& clean_reference,
+                               std::size_t k_neighbours) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t k = model.num_classes();
+  Tensor input_features = model.features(inputs);
+  Tensor input_probs = model.predict_proba(inputs);
+  Tensor ref_features = model.features(clean_reference.images);
+  const auto ref_pred = model.predict(clean_reference.images);
+
+  const std::size_t d = input_features.dim(1);
+  const std::size_t ref_n = clean_reference.size();
+  const std::size_t kk = std::min(k_neighbours, ref_n);
+
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int pred = argmax_row(input_probs.data() + i * k, k);
+    // Distances to reference features.
+    std::vector<std::pair<double, std::size_t>> dist(ref_n);
+    for (std::size_t r = 0; r < ref_n; ++r) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = input_features.data()[i * d + j] -
+                            ref_features.data()[r * d + j];
+        acc += diff * diff;
+      }
+      dist[r] = {acc, r};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(kk),
+                      dist.end());
+    // Disagreement between feature-space neighbours' predictions and the
+    // model's final prediction: triggered inputs land in the target-class
+    // logit region while their features sit near their true class.
+    std::size_t disagree = 0;
+    for (std::size_t j = 0; j < kk; ++j) {
+      if (ref_pred[dist[j].second] != pred) ++disagree;
+    }
+    scores[i] = static_cast<double>(disagree) / static_cast<double>(kk);
+  }
+  return scores;
+}
+
+std::vector<double> cd_scores(nn::Model& model, const Tensor& inputs,
+                              std::size_t occluder) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t c = inputs.dim(1);
+  const std::size_t h = inputs.dim(2);
+  const std::size_t w = inputs.dim(3);
+  const std::size_t k = model.num_classes();
+
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor base = single(inputs, i);
+    Tensor base_probs = model.predict_proba(base);
+    const int pred = argmax_row(base_probs.data(), k);
+    // Count grid cells that individually suffice to keep the prediction
+    // when everything else is grayed out; trigger samples need very few.
+    std::size_t sufficient = 0;
+    std::size_t cells = 0;
+    for (std::size_t oy = 0; oy + occluder <= h; oy += occluder) {
+      for (std::size_t ox = 0; ox + occluder <= w; ox += occluder) {
+        ++cells;
+        Tensor masked(base.shape(), 0.5F);
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          for (std::size_t y = 0; y < occluder; ++y) {
+            for (std::size_t x = 0; x < occluder; ++x) {
+              masked.at4(0, ch, oy + y, ox + x) =
+                  base.at4(0, ch, oy + y, ox + x);
+            }
+          }
+        }
+        Tensor probs = model.predict_proba(masked);
+        if (argmax_row(probs.data(), k) == pred) ++sufficient;
+      }
+    }
+    // Small cognitive pattern => a single cell already carries the class.
+    scores[i] = static_cast<double>(sufficient) / static_cast<double>(cells);
+  }
+  return scores;
+}
+
+std::vector<double> confidence_scores(nn::Model& model, const Tensor& inputs) {
+  const std::size_t n = inputs.dim(0);
+  const std::size_t k = model.num_classes();
+  Tensor probs = model.predict_proba(inputs);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = probs.data() + i * k;
+    scores[i] = row[argmax_row(row, k)];
+  }
+  return scores;
+}
+
+}  // namespace bprom::defenses

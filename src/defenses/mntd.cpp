@@ -1,0 +1,67 @@
+#include "defenses/mntd.hpp"
+
+#include <cassert>
+
+#include "data/ops.hpp"
+
+namespace bprom::defenses {
+
+MntdDetector::MntdDetector(MntdConfig config) : config_(std::move(config)) {}
+
+std::vector<float> MntdDetector::feature_vector(
+    const nn::BlackBoxModel& model) const {
+  nn::Tensor probs = model.predict_proba(query_set_.images);
+  return std::vector<float>(probs.vec().begin(), probs.vec().end());
+}
+
+void MntdDetector::fit(const nn::LabeledData& reserved_clean,
+                       std::size_t classes) {
+  assert(reserved_clean.size() > 0);
+  util::Rng rng(config_.seed);
+  const nn::ImageShape shape{reserved_clean.images.dim(1),
+                             reserved_clean.images.dim(2),
+                             reserved_clean.images.dim(3)};
+  const std::size_t q =
+      std::min(config_.query_samples, reserved_clean.size());
+  query_set_ = data::subset(
+      reserved_clean,
+      rng.sample_without_replacement(reserved_clean.size(), q));
+
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  const std::size_t total = config_.clean_shadows + config_.backdoor_shadows;
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool is_backdoor = i >= config_.clean_shadows;
+    util::Rng model_rng = rng.split(i + 1);
+    nn::LabeledData train_set = reserved_clean;
+    if (is_backdoor) {
+      const auto kind = config_.attack_pool[model_rng.uniform_index(
+          config_.attack_pool.size())];
+      auto atk = attacks::AttackConfig::defaults(kind);
+      atk.poison_rate = config_.shadow_poison_rate;
+      atk.target_class = static_cast<int>(model_rng.uniform_index(classes));
+      atk.seed = model_rng.next_u64();
+      train_set =
+          attacks::poison_dataset(reserved_clean, atk, model_rng).data;
+    }
+    auto shadow =
+        nn::make_model(config_.shadow_arch, shape, classes, model_rng);
+    nn::TrainConfig tc = config_.shadow_train;
+    tc.seed = model_rng.next_u64();
+    nn::train_classifier(*shadow, train_set, tc);
+
+    nn::BlackBoxAdapter adapter(*shadow);
+    features.push_back(feature_vector(adapter));
+    labels.push_back(is_backdoor ? 1 : 0);
+  }
+  meta_ = meta::LogisticRegression();
+  meta_.fit(features, labels);
+  fitted_ = true;
+}
+
+double MntdDetector::score(const nn::BlackBoxModel& suspicious) const {
+  assert(fitted_);
+  return meta_.predict_proba(feature_vector(suspicious));
+}
+
+}  // namespace bprom::defenses

@@ -1,0 +1,52 @@
+// MNTD (Xu et al. 2019) — meta neural trojan detection, the closest prior
+// work to BPROM.  Trains many shadow models across *multiple* attack types
+// and fits a meta-classifier on their confidence vectors over a fixed query
+// set (no visual prompting).  Included as the head-to-head baseline for the
+// §5.3 comparison and the shadow-count ablation.
+#pragma once
+
+#include <vector>
+
+#include "attacks/poisoner.hpp"
+#include "meta/logistic.hpp"
+#include "nn/arch.hpp"
+#include "nn/blackbox.hpp"
+
+namespace bprom::defenses {
+
+struct MntdConfig {
+  nn::ArchKind shadow_arch = nn::ArchKind::kResNet18Mini;
+  std::size_t clean_shadows = 10;
+  std::size_t backdoor_shadows = 10;
+  /// MNTD needs to "see" a variety of backdoors (paper §5.3).
+  std::vector<attacks::AttackKind> attack_pool = {
+      attacks::AttackKind::kBadNets, attacks::AttackKind::kBlend,
+      attacks::AttackKind::kTrojan};
+  double shadow_poison_rate = 0.15;
+  std::size_t query_samples = 16;
+  nn::TrainConfig shadow_train{};
+  std::uint64_t seed = 37;
+};
+
+class MntdDetector {
+ public:
+  explicit MntdDetector(MntdConfig config = {});
+
+  /// `reserved_clean` plays the role of MNTD's shadow training data; the
+  /// query set is drawn from it too (MNTD has no external dataset).
+  void fit(const nn::LabeledData& reserved_clean, std::size_t classes);
+
+  /// P(backdoor) for a black-box suspicious model.
+  [[nodiscard]] double score(const nn::BlackBoxModel& suspicious) const;
+
+ private:
+  [[nodiscard]] std::vector<float> feature_vector(
+      const nn::BlackBoxModel& model) const;
+
+  MntdConfig config_;
+  bool fitted_ = false;
+  nn::LabeledData query_set_;
+  meta::LogisticRegression meta_;
+};
+
+}  // namespace bprom::defenses

@@ -1,0 +1,59 @@
+#include "defenses/model_level.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.hpp"
+#include "nn/loss.hpp"
+
+namespace bprom::defenses {
+
+double mmbd_model_score(nn::Model& model, const MmBdConfig& config) {
+  const std::size_t k = model.num_classes();
+  const nn::ImageShape shape = model.input_shape();
+  util::Rng rng(config.seed);
+
+  std::vector<double> max_margin(k, -1e30);
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    for (std::size_t restart = 0; restart < config.restarts; ++restart) {
+      // Random start in [0, 1]^d.
+      nn::Tensor x({1, shape.channels, shape.height, shape.width});
+      for (auto& v : x.vec()) v = static_cast<float>(rng.uniform());
+
+      for (std::size_t step = 0; step < config.steps; ++step) {
+        nn::Tensor logits = model.logits(x, /*train=*/false);
+        // Margin objective: logit_cls - max_{j != cls} logit_j.
+        std::size_t runner = cls == 0 ? 1 : 0;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (j != cls && logits[j] > logits[runner]) runner = j;
+        }
+        nn::Tensor dlogits({1, k});
+        dlogits[cls] = -1.0F;   // ascend on margin == descend on -margin
+        dlogits[runner] = 1.0F;
+        nn::Tensor dx = model.backward(dlogits);
+        for (std::size_t p = 0; p < x.size(); ++p) {
+          x[p] = std::clamp(x[p] - config.lr * dx[p], 0.0F, 1.0F);
+        }
+      }
+      nn::Tensor logits = model.logits(x, /*train=*/false);
+      std::size_t runner = cls == 0 ? 1 : 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j != cls && logits[j] > logits[runner]) runner = j;
+      }
+      max_margin[cls] = std::max(
+          max_margin[cls], static_cast<double>(logits[cls] - logits[runner]));
+    }
+  }
+  for (auto* p : model.parameters()) p->zero_grad();
+
+  // Anomaly of the largest margin relative to the rest (MAD units).
+  std::vector<double> sorted = max_margin;
+  std::sort(sorted.begin(), sorted.end());
+  const double top = sorted.back();
+  sorted.pop_back();
+  const double med = linalg::median(sorted);
+  const double scale = linalg::mad(sorted) + 1e-6;
+  return (top - med) / scale;
+}
+
+}  // namespace bprom::defenses

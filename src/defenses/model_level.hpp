@@ -1,0 +1,23 @@
+// Model-level baseline: MM-BD (Wang et al. 2024) — post-training detection
+// via a maximum-margin statistic, no clean data needed.
+#pragma once
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::defenses {
+
+struct MmBdConfig {
+  /// Gradient-ascent steps maximizing each class's logit margin.
+  std::size_t steps = 30;
+  float lr = 0.1F;
+  std::size_t restarts = 2;
+  std::uint64_t seed = 31;
+};
+
+/// Returns the MM-BD anomaly score (higher = more likely backdoored):
+/// the max class margin's deviation from the other classes' margins in
+/// robust (MAD) units.
+double mmbd_model_score(nn::Model& model, const MmBdConfig& config = {});
+
+}  // namespace bprom::defenses

@@ -1,0 +1,96 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace bprom::linalg {
+
+EigenDecomposition symmetric_eigen(const Matrix& sym, int max_sweeps,
+                                   double tol) {
+  assert(sym.rows() == sym.cols());
+  const std::size_t n = sym.rows();
+  Matrix a = sym;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors.resize(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values[i] = a(order[i], order[i]);
+    for (std::size_t k = 0; k < n; ++k) out.vectors[i][k] = v(k, order[i]);
+  }
+  return out;
+}
+
+LeadingSingular leading_singular(const Matrix& a, int iters) {
+  const std::size_t cols = a.cols();
+  LeadingSingular out;
+  out.direction.assign(cols, 0.0);
+  if (cols == 0 || a.rows() == 0) return out;
+  // Deterministic start: alternating signs avoids orthogonality with the
+  // common all-positive leading direction while staying reproducible.
+  for (std::size_t i = 0; i < cols; ++i) {
+    out.direction[i] = (i % 2 == 0) ? 1.0 : -0.5;
+  }
+  const Matrix at = a.transpose();
+  double sigma_sq = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    std::vector<double> av = a.multiply(out.direction);
+    std::vector<double> atav = at.multiply(av);
+    const double n = norm(atav);
+    if (n < 1e-300) break;
+    for (auto& x : atav) x /= n;
+    out.direction = std::move(atav);
+    sigma_sq = n;
+  }
+  out.value = std::sqrt(std::max(0.0, sigma_sq));
+  return out;
+}
+
+}  // namespace bprom::linalg

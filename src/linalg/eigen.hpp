@@ -1,0 +1,33 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and leading singular vector
+// (power iteration on A^T A).  Used by CMA-ES (covariance sampling), PCA,
+// and the spectral defenses (SS, SPECTRE).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bprom::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column i of `vectors` (stored as rows here: vectors[i]) is the
+  /// eigenvector for values[i], unit norm.
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Cyclic Jacobi for a symmetric matrix.  O(n^3) per sweep, fine for the
+/// n <= ~600 matrices we decompose.
+EigenDecomposition symmetric_eigen(const Matrix& sym, int max_sweeps = 50,
+                                   double tol = 1e-12);
+
+/// Leading right-singular vector and singular value of a (rows x cols)
+/// data matrix via power iteration on A^T A.
+struct LeadingSingular {
+  std::vector<double> direction;  // unit vector, size = cols
+  double value = 0.0;             // sigma_1
+};
+LeadingSingular leading_singular(const Matrix& a, int iters = 100);
+
+}  // namespace bprom::linalg

@@ -1,0 +1,120 @@
+#include "linalg/kmeans.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bprom::linalg {
+
+KMeansResult kmeans(const Matrix& data, std::size_t k, util::Rng& rng,
+                    int max_iters) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  assert(k >= 1);
+  KMeansResult result;
+  if (n == 0) return result;
+  k = std::min(k, n);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(data.row(rng.uniform_index(n)));
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i],
+                          squared_distance(data.row(i), centroids.back()));
+      total += dist2[i];
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= dist2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(data.row(chosen));
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto x = data.row(i);
+      double best = std::numeric_limits<double>::max();
+      std::size_t arg = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = squared_distance(x, centroids[c]);
+        if (d2 < best) {
+          best = d2;
+          arg = c;
+        }
+      }
+      if (assignment[i] != arg) {
+        assignment[i] = arg;
+        changed = true;
+      }
+    }
+    std::vector<std::vector<double>> sums(k, std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto x = data.row(i);
+      for (std::size_t j = 0; j < d; ++j) sums[assignment[i]][j] += x[j];
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        centroids[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.centroids = std::move(centroids);
+  result.assignment = std::move(assignment);
+  result.sizes.assign(k, 0);
+  for (auto a : result.assignment) ++result.sizes[a];
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        squared_distance(data.row(i), result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+double silhouette_two_clusters(const Matrix& data,
+                               const std::vector<std::size_t>& assignment) {
+  const std::size_t n = data.rows();
+  if (n < 3) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double same_sum = 0.0;
+    double other_sum = 0.0;
+    std::size_t same_n = 0;
+    std::size_t other_n = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dij = std::sqrt(squared_distance(data.row(i), data.row(j)));
+      if (assignment[j] == assignment[i]) {
+        same_sum += dij;
+        ++same_n;
+      } else {
+        other_sum += dij;
+        ++other_n;
+      }
+    }
+    if (same_n == 0 || other_n == 0) continue;
+    const double a = same_sum / static_cast<double>(same_n);
+    const double b = other_sum / static_cast<double>(other_n);
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace bprom::linalg

@@ -1,0 +1,26 @@
+// k-means++ clustering, used by the Activation Clustering defense.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::linalg {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<std::size_t> assignment;  // per sample
+  std::vector<std::size_t> sizes;       // per cluster
+  double inertia = 0.0;                 // sum of squared distances
+};
+
+KMeansResult kmeans(const Matrix& data, std::size_t k, util::Rng& rng,
+                    int max_iters = 50);
+
+/// Silhouette score of a 2-cluster split (AC's abnormality statistic).
+double silhouette_two_clusters(const Matrix& data,
+                               const std::vector<std::size_t>& assignment);
+
+}  // namespace bprom::linalg

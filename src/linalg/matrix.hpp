@@ -1,0 +1,58 @@
+// Dense row-major double matrix for the analysis-side math (PCA, spectral
+// defenses, CMA-ES covariance).  The training framework uses float tensors
+// (src/tensor); analysis code prefers double precision because eigen/SVD
+// conditioning matters more than throughput there.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace bprom::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> multiply(
+      const std::vector<double>& v) const;
+
+  Matrix& add_scaled(const Matrix& rhs, double scale);
+  Matrix& scale(double s);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  /// Row view as a vector copy.
+  [[nodiscard]] std::vector<double> row(std::size_t r) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean helpers used across defenses.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm(const std::vector<double>& a);
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace bprom::linalg

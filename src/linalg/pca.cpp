@@ -1,0 +1,59 @@
+#include "linalg/pca.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "linalg/eigen.hpp"
+
+namespace bprom::linalg {
+
+std::vector<double> PcaModel::project(const std::vector<double>& x) const {
+  assert(x.size() == mean.size());
+  std::vector<double> centered(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) centered[i] = x[i] - mean[i];
+  std::vector<double> out(components.size());
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    out[c] = dot(components[c], centered);
+  }
+  return out;
+}
+
+PcaModel fit_pca(const Matrix& data, std::size_t k) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  PcaModel model;
+  model.mean.assign(d, 0.0);
+  if (n == 0) return model;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) model.mean[j] += data(i, j);
+  }
+  for (auto& m : model.mean) m /= static_cast<double>(n);
+
+  Matrix cov(d, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      const double xa = data(i, a) - model.mean[a];
+      if (xa == 0.0) continue;
+      for (std::size_t b = a; b < d; ++b) {
+        cov(a, b) += xa * (data(i, b) - model.mean[b]);
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = a; b < d; ++b) {
+      cov(a, b) /= denom;
+      cov(b, a) = cov(a, b);
+    }
+  }
+
+  auto eig = symmetric_eigen(cov);
+  k = std::min(k, d);
+  model.components.assign(eig.vectors.begin(),
+                          eig.vectors.begin() + static_cast<long>(k));
+  model.explained.assign(eig.values.begin(),
+                         eig.values.begin() + static_cast<long>(k));
+  return model;
+}
+
+}  // namespace bprom::linalg

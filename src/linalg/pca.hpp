@@ -1,0 +1,25 @@
+// Principal component analysis for the paper's Figures 3 and 5 and for the
+// feature-space analyses inside several defenses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bprom::linalg {
+
+struct PcaModel {
+  std::vector<double> mean;                     // feature mean
+  std::vector<std::vector<double>> components;  // top-k principal axes
+  std::vector<double> explained;                // eigenvalues for those axes
+
+  /// Project a sample onto the retained components.
+  [[nodiscard]] std::vector<double> project(
+      const std::vector<double>& x) const;
+};
+
+/// Fit PCA on rows of `data` (samples x features), retaining k components.
+PcaModel fit_pca(const Matrix& data, std::size_t k);
+
+}  // namespace bprom::linalg

@@ -1,0 +1,119 @@
+#include "meta/decision_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bprom::meta {
+namespace {
+
+double gini(std::size_t n1, std::size_t n) {
+  if (n == 0) return 0.0;
+  const double p = static_cast<double>(n1) / static_cast<double>(n);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<float>>& x,
+                       const std::vector<int>& y,
+                       const std::vector<std::size_t>& sample_idx,
+                       const TreeConfig& config, util::Rng& rng) {
+  nodes_.clear();
+  std::vector<std::size_t> idx = sample_idx;
+  build(x, y, idx, 0, config, rng);
+}
+
+int DecisionTree::build(const std::vector<std::vector<float>>& x,
+                        const std::vector<int>& y,
+                        std::vector<std::size_t>& idx, std::size_t depth,
+                        const TreeConfig& config, util::Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  std::size_t n1 = 0;
+  for (auto i : idx) n1 += static_cast<std::size_t>(y[i] == 1);
+  const double p1 = idx.empty()
+                        ? 0.5
+                        : static_cast<double>(n1) /
+                              static_cast<double>(idx.size());
+  nodes_[static_cast<std::size_t>(node_id)].p1 = p1;
+
+  if (depth >= config.max_depth || idx.size() <= config.min_samples_leaf ||
+      n1 == 0 || n1 == idx.size()) {
+    return node_id;
+  }
+
+  const std::size_t n_features = x.empty() ? 0 : x[0].size();
+  std::size_t n_try = config.feature_subsample > 0
+                          ? config.feature_subsample
+                          : static_cast<std::size_t>(
+                                std::sqrt(static_cast<double>(n_features))) +
+                                1;
+  n_try = std::min(n_try, n_features);
+
+  double best_impurity = gini(n1, idx.size());
+  int best_feature = -1;
+  float best_threshold = 0.0F;
+
+  const auto features = rng.sample_without_replacement(n_features, n_try);
+  std::vector<std::pair<float, int>> values(idx.size());
+  for (auto f : features) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      values[i] = {x[idx[i]][f], y[idx[i]]};
+    }
+    std::sort(values.begin(), values.end());
+    std::size_t left_n1 = 0;
+    for (std::size_t split = 1; split < values.size(); ++split) {
+      left_n1 += static_cast<std::size_t>(values[split - 1].second == 1);
+      if (values[split].first <= values[split - 1].first) continue;
+      const std::size_t left_n = split;
+      const std::size_t right_n = values.size() - split;
+      const double impurity =
+          (static_cast<double>(left_n) * gini(left_n1, left_n) +
+           static_cast<double>(right_n) * gini(n1 - left_n1, right_n)) /
+          static_cast<double>(values.size());
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feature = static_cast<int>(f);
+        best_threshold =
+            0.5F * (values[split].first + values[split - 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (auto i : idx) {
+    if (x[i][static_cast<std::size_t>(best_feature)] < best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build(x, y, left_idx, depth + 1, config, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  const int right = build(x, y, right_idx, depth + 1, config, rng);
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_proba(const std::vector<float>& x) const {
+  if (nodes_.empty()) return 0.5;
+  std::size_t node = 0;
+  for (;;) {
+    const auto& n = nodes_[node];
+    if (n.feature < 0) return n.p1;
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left
+                                                             : n.right);
+  }
+}
+
+}  // namespace bprom::meta

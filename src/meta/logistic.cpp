@@ -1,0 +1,43 @@
+#include "meta/logistic.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace bprom::meta {
+
+LogisticRegression::LogisticRegression(LogisticConfig config)
+    : config_(config) {}
+
+void LogisticRegression::fit(const std::vector<std::vector<float>>& x,
+                             const std::vector<int>& y) {
+  assert(x.size() == y.size() && !x.empty());
+  const std::size_t d = x[0].size();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  util::Rng rng(config_.seed);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto order = rng.permutation(x.size());
+    for (auto i : order) {
+      double z = bias_;
+      for (std::size_t j = 0; j < d; ++j) z += weights_[j] * x[i][j];
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err = p - static_cast<double>(y[i]);
+      for (std::size_t j = 0; j < d; ++j) {
+        weights_[j] -=
+            config_.lr * (err * x[i][j] + config_.l2 * weights_[j]);
+      }
+      bias_ -= config_.lr * err;
+    }
+  }
+}
+
+double LogisticRegression::predict_proba(const std::vector<float>& x) const {
+  assert(x.size() == weights_.size());
+  double z = bias_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace bprom::meta

@@ -1,0 +1,35 @@
+// L2-regularized logistic regression — ablation alternative to the forest
+// meta-model, and the linear probe used by a couple of baseline defenses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bprom::meta {
+
+struct LogisticConfig {
+  std::size_t epochs = 200;
+  double lr = 0.1;
+  double l2 = 1e-3;
+  std::uint64_t seed = 23;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {});
+
+  void fit(const std::vector<std::vector<float>>& x,
+           const std::vector<int>& y);
+
+  [[nodiscard]] double predict_proba(const std::vector<float>& x) const;
+  [[nodiscard]] int predict(const std::vector<float>& x) const {
+    return predict_proba(x) >= 0.5 ? 1 : 0;
+  }
+
+ private:
+  LogisticConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace bprom::meta

@@ -1,0 +1,30 @@
+#include "meta/random_forest.hpp"
+
+#include <cassert>
+
+namespace bprom::meta {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {}
+
+void RandomForest::fit(const std::vector<std::vector<float>>& x,
+                       const std::vector<int>& y) {
+  assert(x.size() == y.size() && !x.empty());
+  util::Rng rng(config_.seed);
+  trees_.assign(config_.trees, DecisionTree{});
+  for (auto& tree : trees_) {
+    // Bootstrap sample.
+    std::vector<std::size_t> idx(x.size());
+    for (auto& i : idx) i = rng.uniform_index(x.size());
+    util::Rng tree_rng = rng.split(trees_.size());
+    tree.fit(x, y, idx, config_.tree, tree_rng);
+  }
+}
+
+double RandomForest::predict_proba(const std::vector<float>& x) const {
+  if (trees_.empty()) return 0.5;
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict_proba(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace bprom::meta

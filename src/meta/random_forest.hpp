@@ -1,0 +1,40 @@
+// Random-forest binary classifier — the paper's meta-model f_meta.
+//
+// The paper uses 10,000 trees; tree count is configurable and AUROC
+// saturates at a few hundred at this problem scale (DESIGN.md §2).
+#pragma once
+
+#include "meta/decision_tree.hpp"
+
+namespace bprom::meta {
+
+struct ForestConfig {
+  std::size_t trees = 300;
+  TreeConfig tree;
+  std::uint64_t seed = 19;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  /// Fit on feature rows with binary labels {0 = clean, 1 = backdoor}.
+  void fit(const std::vector<std::vector<float>>& x,
+           const std::vector<int>& y);
+
+  /// P(backdoor).
+  [[nodiscard]] double predict_proba(const std::vector<float>& x) const;
+
+  /// Hard verdict at the 0.5 threshold.
+  [[nodiscard]] int predict(const std::vector<float>& x) const {
+    return predict_proba(x) >= 0.5 ? 1 : 0;
+  }
+
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace bprom::meta

@@ -1,0 +1,66 @@
+#include "metrics/scatter.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace bprom::metrics {
+
+void write_scatter_csv(const std::string& path,
+                       const std::vector<ScatterSeries>& series) {
+  std::ofstream out(path);
+  out << "series,x,y\n";
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      out << s.label << ',' << s.x[i] << ',' << s.y[i] << '\n';
+    }
+  }
+}
+
+std::string ascii_scatter(const std::vector<ScatterSeries>& series,
+                          std::size_t width, std::size_t height) {
+  constexpr const char* kGlyphs = "ox+*#@%&";
+  double min_x = std::numeric_limits<double>::max();
+  double max_x = std::numeric_limits<double>::lowest();
+  double min_y = min_x;
+  double max_y = max_x;
+  for (const auto& s : series) {
+    for (double v : s.x) {
+      min_x = std::min(min_x, v);
+      max_x = std::max(max_x, v);
+    }
+    for (double v : s.y) {
+      min_y = std::min(min_y, v);
+      max_y = std::max(max_y, v);
+    }
+  }
+  if (min_x > max_x) return "(empty scatter)\n";
+  if (max_x - min_x < 1e-12) max_x = min_x + 1.0;
+  if (max_y - min_y < 1e-12) max_y = min_y + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % 8];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const auto gx = static_cast<std::size_t>(
+          (s.x[i] - min_x) / (max_x - min_x) * static_cast<double>(width - 1));
+      const auto gy = static_cast<std::size_t>(
+          (s.y[i] - min_y) / (max_y - min_y) *
+          static_cast<double>(height - 1));
+      grid[height - 1 - gy][gx] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  '" << kGlyphs[si % 8] << "' = " << series[si].label << '\n';
+  }
+  out << '+' << std::string(width, '-') << "+\n";
+  for (const auto& row : grid) out << '|' << row << "|\n";
+  out << '+' << std::string(width, '-') << "+\n";
+  return out.str();
+}
+
+}  // namespace bprom::metrics

@@ -1,0 +1,25 @@
+// Figure output: CSV series + ASCII scatter plots for the paper's Figures 3
+// and 5 (the substrate is headless, so plots are rendered as text and the
+// raw series are written to CSV for external plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bprom::metrics {
+
+struct ScatterSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Write all series to a CSV with columns: series,x,y.
+void write_scatter_csv(const std::string& path,
+                       const std::vector<ScatterSeries>& series);
+
+/// Render an ASCII scatter (each series gets a distinct glyph).
+std::string ascii_scatter(const std::vector<ScatterSeries>& series,
+                          std::size_t width = 72, std::size_t height = 24);
+
+}  // namespace bprom::metrics

@@ -1,0 +1,131 @@
+#include "nn/arch.hpp"
+
+#include <cassert>
+
+#include "nn/attention.hpp"
+#include "nn/blocks.hpp"
+
+namespace bprom::nn {
+
+std::string arch_name(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kResNet18Mini:
+      return "ResNet18Mini";
+    case ArchKind::kMobileNetV2Mini:
+      return "MobileNetV2Mini";
+    case ArchKind::kMobileViTMini:
+      return "MobileViTMini";
+    case ArchKind::kSwinMini:
+      return "SwinMini";
+    case ArchKind::kMlp:
+      return "Mlp";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<Model> make_resnet(ImageShape input, std::size_t classes,
+                                   util::Rng& rng) {
+  auto backbone = std::make_unique<Sequential>();
+  backbone->emplace<Conv2d>(input.channels, 4, 3, 1, 1, rng);
+  backbone->emplace<BatchNorm2d>(4);
+  backbone->emplace<ReLU>();
+  backbone->emplace<ResidualBlock>(4, 8, 2, rng);
+  backbone->emplace<ResidualBlock>(8, 16, 2, rng);
+  backbone->emplace<GlobalAvgPool>();
+  auto head = std::make_unique<Linear>(16, classes, rng);
+  return std::make_unique<Model>(std::move(backbone), std::move(head), input,
+                                 classes);
+}
+
+std::unique_ptr<Model> make_mobilenet(ImageShape input, std::size_t classes,
+                                      util::Rng& rng) {
+  auto backbone = std::make_unique<Sequential>();
+  backbone->emplace<Conv2d>(input.channels, 8, 3, 1, 1, rng);
+  backbone->emplace<BatchNorm2d>(8);
+  backbone->emplace<ReLU>();
+  backbone->emplace<DepthwiseSeparableBlock>(8, 16, 2, rng);
+  backbone->emplace<DepthwiseSeparableBlock>(16, 16, 1, rng);
+  backbone->emplace<DepthwiseSeparableBlock>(16, 32, 2, rng);
+  backbone->emplace<GlobalAvgPool>();
+  auto head = std::make_unique<Linear>(32, classes, rng);
+  return std::make_unique<Model>(std::move(backbone), std::move(head), input,
+                                 classes);
+}
+
+std::unique_ptr<Model> make_mobilevit(ImageShape input, std::size_t classes,
+                                      util::Rng& rng) {
+  auto backbone = std::make_unique<Sequential>();
+  backbone->emplace<Conv2d>(input.channels, 8, 3, 1, 1, rng);
+  backbone->emplace<BatchNorm2d>(8);
+  backbone->emplace<ReLU>();
+  backbone->emplace<DepthwiseSeparableBlock>(8, 16, 2, rng);
+  backbone->emplace<DepthwiseSeparableBlock>(16, 16, 2, rng);
+  backbone->emplace<SpatialSelfAttention>(16, rng);
+  backbone->emplace<BatchNorm2d>(16);
+  backbone->emplace<ReLU>();
+  backbone->emplace<Conv2d>(16, 32, 1, 1, 0, rng);
+  backbone->emplace<BatchNorm2d>(32);
+  backbone->emplace<ReLU>();
+  backbone->emplace<GlobalAvgPool>();
+  auto head = std::make_unique<Linear>(32, classes, rng);
+  return std::make_unique<Model>(std::move(backbone), std::move(head), input,
+                                 classes);
+}
+
+std::unique_ptr<Model> make_swin(ImageShape input, std::size_t classes,
+                                 util::Rng& rng) {
+  auto backbone = std::make_unique<Sequential>();
+  // Patchify: stride-2 conv = 2x2 patch embedding.
+  backbone->emplace<Conv2d>(input.channels, 16, 2, 2, 0, rng);
+  backbone->emplace<BatchNorm2d>(16);
+  backbone->emplace<Gelu>();
+  backbone->emplace<SpatialSelfAttention>(16, rng);
+  backbone->emplace<BatchNorm2d>(16);
+  // Merge: downsample + widen.
+  backbone->emplace<Conv2d>(16, 32, 2, 2, 0, rng);
+  backbone->emplace<BatchNorm2d>(32);
+  backbone->emplace<Gelu>();
+  backbone->emplace<SpatialSelfAttention>(32, rng);
+  backbone->emplace<BatchNorm2d>(32);
+  backbone->emplace<GlobalAvgPool>();
+  auto head = std::make_unique<Linear>(32, classes, rng);
+  return std::make_unique<Model>(std::move(backbone), std::move(head), input,
+                                 classes);
+}
+
+std::unique_ptr<Model> make_mlp(ImageShape input, std::size_t classes,
+                                util::Rng& rng) {
+  auto backbone = std::make_unique<Sequential>();
+  backbone->emplace<Flatten>();
+  backbone->emplace<Linear>(input.size(), 64, rng);
+  backbone->emplace<ReLU>();
+  backbone->emplace<Linear>(64, 32, rng);
+  backbone->emplace<ReLU>();
+  auto head = std::make_unique<Linear>(32, classes, rng);
+  return std::make_unique<Model>(std::move(backbone), std::move(head), input,
+                                 classes);
+}
+
+}  // namespace
+
+std::unique_ptr<Model> make_model(ArchKind kind, ImageShape input,
+                                  std::size_t classes, util::Rng& rng) {
+  switch (kind) {
+    case ArchKind::kResNet18Mini:
+      return make_resnet(input, classes, rng);
+    case ArchKind::kMobileNetV2Mini:
+      return make_mobilenet(input, classes, rng);
+    case ArchKind::kMobileViTMini:
+      return make_mobilevit(input, classes, rng);
+    case ArchKind::kSwinMini:
+      return make_swin(input, classes, rng);
+    case ArchKind::kMlp:
+      return make_mlp(input, classes, rng);
+  }
+  assert(false);
+  return nullptr;
+}
+
+}  // namespace bprom::nn

@@ -1,0 +1,265 @@
+#include "nn/attention.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bprom::nn {
+namespace {
+
+// y[t, :] = x[t, :] * W  for a [T, C] token block and [C, C] weight.
+void tokens_matmul(const float* x, const float* w, float* y, std::size_t t,
+                   std::size_t c) {
+  for (std::size_t i = 0; i < t; ++i) {
+    const float* xi = x + i * c;
+    float* yi = y + i * c;
+    for (std::size_t o = 0; o < c; ++o) yi[o] = 0.0F;
+    for (std::size_t k = 0; k < c; ++k) {
+      const float xv = xi[k];
+      if (xv == 0.0F) continue;
+      const float* wk = w + k * c;
+      for (std::size_t o = 0; o < c; ++o) yi[o] += xv * wk[o];
+    }
+  }
+}
+
+}  // namespace
+
+SpatialSelfAttention::SpatialSelfAttention(std::size_t channels,
+                                           util::Rng& rng)
+    : channels_(channels),
+      wq_(Tensor::randn({channels, channels}, rng,
+                        1.0F / std::sqrt(static_cast<float>(channels)))),
+      wk_(Tensor::randn({channels, channels}, rng,
+                        1.0F / std::sqrt(static_cast<float>(channels)))),
+      wv_(Tensor::randn({channels, channels}, rng,
+                        1.0F / std::sqrt(static_cast<float>(channels)))),
+      wo_(Tensor::randn({channels, channels}, rng,
+                        1.0F / std::sqrt(static_cast<float>(channels)))) {}
+
+Tensor SpatialSelfAttention::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4 && x.dim(1) == channels_);
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0);
+  const std::size_t c = channels_;
+  const std::size_t t = x.dim(2) * x.dim(3);
+
+  // Re-layout [N, C, H, W] -> tokens [N, T, C].
+  x_tokens_ = Tensor({n, t, c});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* px = x.data() + (b * c + ch) * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        x_tokens_[(b * t + i) * c + ch] = px[i];
+      }
+    }
+  }
+
+  q_ = Tensor({n, t, c});
+  k_ = Tensor({n, t, c});
+  v_ = Tensor({n, t, c});
+  attn_ = Tensor({n, t, t});
+  ctx_ = Tensor({n, t, c});
+  Tensor out_tokens({n, t, c});
+  const float inv_scale = 1.0F / std::sqrt(static_cast<float>(c));
+
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* xb = x_tokens_.data() + b * t * c;
+    float* qb = q_.data() + b * t * c;
+    float* kb = k_.data() + b * t * c;
+    float* vb = v_.data() + b * t * c;
+    tokens_matmul(xb, wq_.value.data(), qb, t, c);
+    tokens_matmul(xb, wk_.value.data(), kb, t, c);
+    tokens_matmul(xb, wv_.value.data(), vb, t, c);
+
+    float* ab = attn_.data() + b * t * t;
+    for (std::size_t i = 0; i < t; ++i) {
+      float maxv = -1e30F;
+      for (std::size_t j = 0; j < t; ++j) {
+        float s = 0.0F;
+        for (std::size_t d = 0; d < c; ++d) s += qb[i * c + d] * kb[j * c + d];
+        s *= inv_scale;
+        ab[i * t + j] = s;
+        if (s > maxv) maxv = s;
+      }
+      float denom = 0.0F;
+      for (std::size_t j = 0; j < t; ++j) {
+        ab[i * t + j] = std::exp(ab[i * t + j] - maxv);
+        denom += ab[i * t + j];
+      }
+      for (std::size_t j = 0; j < t; ++j) ab[i * t + j] /= denom;
+    }
+
+    float* cb = ctx_.data() + b * t * c;
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t d = 0; d < c; ++d) cb[i * c + d] = 0.0F;
+      for (std::size_t j = 0; j < t; ++j) {
+        const float a = ab[i * t + j];
+        if (a == 0.0F) continue;
+        for (std::size_t d = 0; d < c; ++d) {
+          cb[i * c + d] += a * vb[j * c + d];
+        }
+      }
+    }
+
+    float* ob = out_tokens.data() + b * t * c;
+    tokens_matmul(cb, wo_.value.data(), ob, t, c);
+    // Residual.
+    for (std::size_t i = 0; i < t * c; ++i) ob[i] += xb[i];
+  }
+
+  // Back to [N, C, H, W].
+  Tensor y(in_shape_);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* py = y.data() + (b * c + ch) * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        py[i] = out_tokens[(b * t + i) * c + ch];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor SpatialSelfAttention::backward(const Tensor& grad_out) {
+  const std::size_t n = in_shape_[0];
+  const std::size_t c = channels_;
+  const std::size_t t = in_shape_[2] * in_shape_[3];
+  const float inv_scale = 1.0F / std::sqrt(static_cast<float>(c));
+
+  // Token-layout gradient of the block output.
+  Tensor dout({n, t, c});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* pg = grad_out.data() + (b * c + ch) * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        dout[(b * t + i) * c + ch] = pg[i];
+      }
+    }
+  }
+
+  Tensor dx_tokens({n, t, c});
+  std::vector<float> dctx(t * c);
+  std::vector<float> dattn(t * t);
+  std::vector<float> dscore(t * t);
+  std::vector<float> dq(t * c);
+  std::vector<float> dk(t * c);
+  std::vector<float> dv(t * c);
+
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* xb = x_tokens_.data() + b * t * c;
+    const float* qb = q_.data() + b * t * c;
+    const float* kb = k_.data() + b * t * c;
+    const float* vb = v_.data() + b * t * c;
+    const float* ab = attn_.data() + b * t * t;
+    const float* cb = ctx_.data() + b * t * c;
+    const float* gb = dout.data() + b * t * c;
+    float* dxb = dx_tokens.data() + b * t * c;
+
+    // Residual: dX += dOut.
+    for (std::size_t i = 0; i < t * c; ++i) dxb[i] = gb[i];
+
+    // dWo += ctx^T dOut;  dctx = dOut Wo^T.
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t k = 0; k < c; ++k) {
+        const float cv = cb[i * c + k];
+        float* dwo = wo_.grad.data() + k * c;
+        const float* gi = gb + i * c;
+        for (std::size_t o = 0; o < c; ++o) dwo[o] += cv * gi[o];
+      }
+    }
+    for (std::size_t i = 0; i < t; ++i) {
+      const float* gi = gb + i * c;
+      float* di = dctx.data() + i * c;
+      for (std::size_t k = 0; k < c; ++k) {
+        const float* wok = wo_.value.data() + k * c;
+        float acc = 0.0F;
+        for (std::size_t o = 0; o < c; ++o) acc += gi[o] * wok[o];
+        di[k] = acc;
+      }
+    }
+
+    // dattn = dctx V^T;  dV = A^T dctx.
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t j = 0; j < t; ++j) {
+        float acc = 0.0F;
+        for (std::size_t d = 0; d < c; ++d) {
+          acc += dctx[i * c + d] * vb[j * c + d];
+        }
+        dattn[i * t + j] = acc;
+      }
+    }
+    std::fill(dv.begin(), dv.end(), 0.0F);
+    for (std::size_t j = 0; j < t; ++j) {
+      for (std::size_t i = 0; i < t; ++i) {
+        const float a = ab[i * t + j];
+        if (a == 0.0F) continue;
+        for (std::size_t d = 0; d < c; ++d) {
+          dv[j * c + d] += a * dctx[i * c + d];
+        }
+      }
+    }
+
+    // Softmax backward per row.
+    for (std::size_t i = 0; i < t; ++i) {
+      float row_dot = 0.0F;
+      for (std::size_t j = 0; j < t; ++j) {
+        row_dot += dattn[i * t + j] * ab[i * t + j];
+      }
+      for (std::size_t j = 0; j < t; ++j) {
+        dscore[i * t + j] =
+            ab[i * t + j] * (dattn[i * t + j] - row_dot) * inv_scale;
+      }
+    }
+
+    // dQ = dscore K;  dK = dscore^T Q.
+    std::fill(dq.begin(), dq.end(), 0.0F);
+    std::fill(dk.begin(), dk.end(), 0.0F);
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t j = 0; j < t; ++j) {
+        const float s = dscore[i * t + j];
+        if (s == 0.0F) continue;
+        for (std::size_t d = 0; d < c; ++d) {
+          dq[i * c + d] += s * kb[j * c + d];
+          dk[j * c + d] += s * qb[i * c + d];
+        }
+      }
+    }
+
+    // Projections: dW* += X^T d*;  dX += d* W*^T.
+    auto backprop_proj = [&](const std::vector<float>& dproj, Parameter& w) {
+      for (std::size_t i = 0; i < t; ++i) {
+        const float* xi = xb + i * c;
+        const float* di = dproj.data() + i * c;
+        for (std::size_t k = 0; k < c; ++k) {
+          const float xv = xi[k];
+          float* dwk = w.grad.data() + k * c;
+          for (std::size_t o = 0; o < c; ++o) dwk[o] += xv * di[o];
+        }
+        float* dxi = dxb + i * c;
+        for (std::size_t k = 0; k < c; ++k) {
+          const float* wk = w.value.data() + k * c;
+          float acc = 0.0F;
+          for (std::size_t o = 0; o < c; ++o) acc += di[o] * wk[o];
+          dxi[k] += acc;
+        }
+      }
+    };
+    backprop_proj(dq, wq_);
+    backprop_proj(dk, wk_);
+    backprop_proj(dv, wv_);
+  }
+
+  // Tokens back to [N, C, H, W].
+  Tensor dx(in_shape_);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* pd = dx.data() + (b * c + ch) * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        pd[i] = dx_tokens[(b * t + i) * c + ch];
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace bprom::nn

@@ -1,0 +1,40 @@
+// Single-head spatial self-attention block used by the MobileViTMini and
+// SwinMini architectures.  Tokens are the H*W spatial positions of a
+// [N, C, H, W] activation; the block applies LayerNorm-free single-head
+// attention with a residual connection (pre/post norms omitted — BatchNorm
+// layers around the block do the normalization at our scale).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::nn {
+
+class SpatialSelfAttention final : public Layer {
+ public:
+  SpatialSelfAttention(std::size_t channels, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override {
+    return {&wq_, &wk_, &wv_, &wo_};
+  }
+  [[nodiscard]] std::string name() const override {
+    return "SpatialSelfAttention";
+  }
+
+ private:
+  std::size_t channels_;
+  Parameter wq_;  // [C, C]
+  Parameter wk_;
+  Parameter wv_;
+  Parameter wo_;
+  // Forward cache (per batch).
+  Tensor x_tokens_;  // [N, T, C]
+  Tensor q_, k_, v_;
+  Tensor attn_;  // [N, T, T]
+  Tensor ctx_;   // [N, T, C]  (attn * V, pre-output-projection)
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace bprom::nn

@@ -1,0 +1,55 @@
+// Black-box query interface.
+//
+// The paper's defender may only query the suspicious model for confidence
+// vectors.  Every detection component that must respect that boundary takes
+// a BlackBoxModel, so the type system enforces black-box discipline: there
+// is no way to reach gradients or parameters through this interface.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "nn/model.hpp"
+
+namespace bprom::nn {
+
+class BlackBoxModel {
+ public:
+  virtual ~BlackBoxModel() = default;
+
+  /// Softmax confidence vectors [N, K] for an image batch [N, C, H, W].
+  virtual Tensor predict_proba(const Tensor& images) const = 0;
+
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+  [[nodiscard]] virtual ImageShape input_shape() const = 0;
+
+  /// Number of queries served so far (for query-budget accounting).
+  [[nodiscard]] virtual std::size_t query_count() const = 0;
+};
+
+/// Adapter exposing a concrete Model through the black-box interface.
+/// Mutable access is required internally (forward passes cache activations)
+/// but nothing beyond confidence vectors crosses the interface.
+class BlackBoxAdapter final : public BlackBoxModel {
+ public:
+  explicit BlackBoxAdapter(Model& model) : model_(&model) {}
+
+  Tensor predict_proba(const Tensor& images) const override {
+    queries_ += images.dim(0);
+    return model_->predict_proba(images);
+  }
+
+  [[nodiscard]] std::size_t num_classes() const override {
+    return model_->num_classes();
+  }
+  [[nodiscard]] ImageShape input_shape() const override {
+    return model_->input_shape();
+  }
+  [[nodiscard]] std::size_t query_count() const override { return queries_; }
+
+ private:
+  Model* model_;
+  mutable std::size_t queries_ = 0;
+};
+
+}  // namespace bprom::nn

@@ -1,0 +1,49 @@
+// Layer abstraction for the from-scratch training framework.
+//
+// The framework is deliberately layer-graph based (not tape autograd):
+// each layer caches what it needs during forward and produces the input
+// gradient during backward.  Models are small and trained on CPU, so
+// clarity and testability win over generality.
+//
+// Threading: a Layer instance is NOT re-entrant (it caches forward state);
+// each model must be driven by one thread at a time.  Parallelism in the
+// library is across models, never within one.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bprom::nn {
+
+using tensor::Tensor;
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  void zero_grad() { grad.zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; `train` toggles batch-stat collection (BatchNorm).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Backward pass given dL/d(output); returns dL/d(input) and accumulates
+  /// parameter gradients.  Must be called after a matching forward.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (non-owning, stable across calls).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace bprom::nn

@@ -1,0 +1,490 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bprom::nn {
+namespace {
+
+float he_stddev(std::size_t fan_in) {
+  return std::sqrt(2.0F / static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in, std::size_t out, util::Rng& rng)
+    : in_(in),
+      out_(out),
+      weight_(Tensor::randn({out, in}, rng, he_stddev(in))),
+      bias_(Tensor({out})) {}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 2 && x.dim(1) == in_);
+  input_ = x;
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_});
+  const float* w = weight_.value.data();
+  const float* b = bias_.value.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * in_;
+    float* yi = y.data() + i * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wo = w + o * in_;
+      float acc = b[o];
+      for (std::size_t k = 0; k < in_; ++k) acc += wo[k] * xi[k];
+      yi[o] = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t n = grad_out.dim(0);
+  assert(grad_out.dim(1) == out_ && input_.dim(0) == n);
+  Tensor dx({n, in_});
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+  const float* w = weight_.value.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* gi = grad_out.data() + i * out_;
+    const float* xi = input_.data() + i * in_;
+    float* dxi = dx.data() + i * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gi[o];
+      if (g == 0.0F) continue;
+      db[o] += g;
+      float* dwo = dw + o * in_;
+      const float* wo = w + o * in_;
+      for (std::size_t k = 0; k < in_; ++k) {
+        dwo[k] += g * xi[k];
+        dxi[k] += g * wo[k];
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+               std::size_t stride, std::size_t pad, util::Rng& rng)
+    : in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Tensor::randn({out_c, in_c * kernel * kernel}, rng,
+                            he_stddev(in_c * kernel * kernel))),
+      bias_(Tensor({out_c})) {}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4 && x.dim(1) == in_c_);
+  batch_ = x.dim(0);
+  geom_ = tensor::ConvGeometry{in_c_, x.dim(2), x.dim(3),
+                               kernel_, stride_, pad_};
+  cols_ = tensor::im2col(x, geom_);
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  const std::size_t patch = geom_.patch_size();
+  Tensor y({batch_, out_c_, oh, ow});
+  const float* w = weight_.value.data();
+  const float* b = bias_.value.data();
+  for (std::size_t bi = 0; bi < batch_; ++bi) {
+    for (std::size_t p = 0; p < oh * ow; ++p) {
+      const float* col = cols_.data() + (bi * oh * ow + p) * patch;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* wo = w + oc * patch;
+        float acc = b[oc];
+        for (std::size_t k = 0; k < patch; ++k) acc += wo[k] * col[k];
+        y.data()[((bi * out_c_ + oc) * oh * ow) + p] = acc;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  const std::size_t patch = geom_.patch_size();
+  assert(grad_out.dim(0) == batch_ && grad_out.dim(1) == out_c_);
+
+  Tensor dcols({batch_ * oh * ow, patch});
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+  const float* w = weight_.value.data();
+  for (std::size_t bi = 0; bi < batch_; ++bi) {
+    for (std::size_t p = 0; p < oh * ow; ++p) {
+      const float* col = cols_.data() + (bi * oh * ow + p) * patch;
+      float* dcol = dcols.data() + (bi * oh * ow + p) * patch;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float g = grad_out.data()[((bi * out_c_ + oc) * oh * ow) + p];
+        if (g == 0.0F) continue;
+        db[oc] += g;
+        float* dwo = dw + oc * patch;
+        const float* wo = w + oc * patch;
+        for (std::size_t k = 0; k < patch; ++k) {
+          dwo[k] += g * col[k];
+          dcol[k] += g * wo[k];
+        }
+      }
+    }
+  }
+  return tensor::col2im(dcols, geom_, batch_);
+}
+
+// ------------------------------------------------------- DepthwiseConv2d
+
+DepthwiseConv2d::DepthwiseConv2d(std::size_t channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t pad,
+                                 util::Rng& rng)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Tensor::randn({channels, kernel * kernel}, rng,
+                            he_stddev(kernel * kernel))),
+      bias_(Tensor({channels})) {}
+
+Tensor DepthwiseConv2d::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4 && x.dim(1) == channels_);
+  input_ = x;
+  const std::size_t n = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
+  const std::size_t ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
+  Tensor y({n, channels_, oh, ow});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* wc = weight_.value.data() + c * kernel_ * kernel_;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = bias_.value[c];
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const long iy = static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(pad_);
+            if (iy < 0 || iy >= static_cast<long>(h)) continue;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const long ix = static_cast<long>(ox * stride_ + kx) -
+                              static_cast<long>(pad_);
+              if (ix < 0 || ix >= static_cast<long>(w)) continue;
+              acc += wc[ky * kernel_ + kx] *
+                     x.at4(b, c, static_cast<std::size_t>(iy),
+                           static_cast<std::size_t>(ix));
+            }
+          }
+          y.at4(b, c, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  const std::size_t n = input_.dim(0);
+  const std::size_t h = input_.dim(2);
+  const std::size_t w = input_.dim(3);
+  const std::size_t oh = grad_out.dim(2);
+  const std::size_t ow = grad_out.dim(3);
+  Tensor dx(input_.shape());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* wc = weight_.value.data() + c * kernel_ * kernel_;
+      float* dwc = weight_.grad.data() + c * kernel_ * kernel_;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_out.at4(b, c, oy, ox);
+          if (g == 0.0F) continue;
+          bias_.grad[c] += g;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const long iy = static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(pad_);
+            if (iy < 0 || iy >= static_cast<long>(h)) continue;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const long ix = static_cast<long>(ox * stride_ + kx) -
+                              static_cast<long>(pad_);
+              if (ix < 0 || ix >= static_cast<long>(w)) continue;
+              const auto uy = static_cast<std::size_t>(iy);
+              const auto ux = static_cast<std::size_t>(ix);
+              dwc[ky * kernel_ + kx] += g * input_.at4(b, c, uy, ux);
+              dx.at4(b, c, uy, ux) += g * wc[ky * kernel_ + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------ BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor({channels}, 1.0F)),
+      beta_(Tensor({channels})),
+      running_mean_(channels, 0.0F),
+      running_var_(channels, 1.0F) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  assert(x.rank() == 4 && x.dim(1) == channels_);
+  last_train_ = train;
+  const std::size_t n = x.dim(0);
+  const std::size_t hw = x.dim(2) * x.dim(3);
+  const auto count = static_cast<float>(n * hw);
+
+  batch_mean_.assign(channels_, 0.0F);
+  batch_inv_std_.assign(channels_, 0.0F);
+  std::vector<float> var(channels_, 0.0F);
+
+  if (train) {
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        const float* px = x.data() + (b * channels_ + c) * hw;
+        float acc = 0.0F;
+        for (std::size_t i = 0; i < hw; ++i) acc += px[i];
+        batch_mean_[c] += acc;
+      }
+    }
+    for (std::size_t c = 0; c < channels_; ++c) batch_mean_[c] /= count;
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        const float* px = x.data() + (b * channels_ + c) * hw;
+        float acc = 0.0F;
+        for (std::size_t i = 0; i < hw; ++i) {
+          const float d = px[i] - batch_mean_[c];
+          acc += d * d;
+        }
+        var[c] += acc;
+      }
+    }
+    for (std::size_t c = 0; c < channels_; ++c) {
+      var[c] /= count;
+      running_mean_[c] =
+          (1.0F - momentum_) * running_mean_[c] + momentum_ * batch_mean_[c];
+      running_var_[c] =
+          (1.0F - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+  } else {
+    batch_mean_ = running_mean_;
+    var = running_var_;
+  }
+  for (std::size_t c = 0; c < channels_; ++c) {
+    batch_inv_std_[c] = 1.0F / std::sqrt(var[c] + eps_);
+  }
+
+  normalized_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* px = x.data() + (b * channels_ + c) * hw;
+      float* pn = normalized_.data() + (b * channels_ + c) * hw;
+      float* py = y.data() + (b * channels_ + c) * hw;
+      const float m = batch_mean_[c];
+      const float is = batch_inv_std_[c];
+      const float g = gamma_.value[c];
+      const float bt = beta_.value[c];
+      for (std::size_t i = 0; i < hw; ++i) {
+        pn[i] = (px[i] - m) * is;
+        py[i] = g * pn[i] + bt;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const std::size_t n = grad_out.dim(0);
+  const std::size_t hw = grad_out.dim(2) * grad_out.dim(3);
+  const auto count = static_cast<float>(n * hw);
+  Tensor dx(grad_out.shape());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float sum_g = 0.0F;
+    float sum_gx = 0.0F;
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* pg = grad_out.data() + (b * channels_ + c) * hw;
+      const float* pn = normalized_.data() + (b * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_g += pg[i];
+        sum_gx += pg[i] * pn[i];
+      }
+    }
+    gamma_.grad[c] += sum_gx;
+    beta_.grad[c] += sum_g;
+
+    const float g = gamma_.value[c];
+    const float is = batch_inv_std_[c];
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* pg = grad_out.data() + (b * channels_ + c) * hw;
+      const float* pn = normalized_.data() + (b * channels_ + c) * hw;
+      float* pd = dx.data() + (b * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        if (last_train_) {
+          pd[i] = g * is *
+                  (pg[i] - sum_g / count - pn[i] * sum_gx / count);
+        } else {
+          pd[i] = g * is * pg[i];
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0F;
+    mask_[i] = pos ? 1.0F : 0.0F;
+    y[i] = pos ? x[i] : 0.0F;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dx[i] = grad_out[i] * mask_[i];
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------------ GELU
+
+Tensor Gelu::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x[i];
+    y[i] = 0.5F * v *
+           (1.0F + std::tanh(0.7978845608F * (v + 0.044715F * v * v * v)));
+  }
+  return y;
+}
+
+Tensor Gelu::backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const float v = input_[i];
+    const float u = 0.7978845608F * (v + 0.044715F * v * v * v);
+    const float t = std::tanh(u);
+    const float du = 0.7978845608F * (1.0F + 3.0F * 0.044715F * v * v);
+    const float d = 0.5F * (1.0F + t) + 0.5F * v * (1.0F - t * t) * du;
+    dx[i] = grad_out[i] * d;
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4);
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0);
+  const std::size_t c = x.dim(1);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t oh = h / window_;
+  const std::size_t ow = w / window_;
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(n * c * oh * ow, 0);
+  std::size_t out_i = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+          float best = -1e30F;
+          std::size_t arg = 0;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t iy = oy * window_ + ky;
+              const std::size_t ix = ox * window_ + kx;
+              const std::size_t flat =
+                  ((b * c + ch) * h + iy) * w + ix;
+              if (x[flat] > best) {
+                best = x[flat];
+                arg = flat;
+              }
+            }
+          }
+          y[out_i] = best;
+          argmax_[out_i] = arg;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor dx(in_shape_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dx[argmax_[i]] += grad_out[i];
+  }
+  return dx;
+}
+
+// --------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4);
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0);
+  const std::size_t c = x.dim(1);
+  const std::size_t hw = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* px = x.data() + (b * c + ch) * hw;
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < hw; ++i) acc += px[i];
+      y.at2(b, ch) = acc / static_cast<float>(hw);
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  Tensor dx(in_shape_);
+  const std::size_t n = in_shape_[0];
+  const std::size_t c = in_shape_[1];
+  const std::size_t hw = in_shape_[2] * in_shape_[3];
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at2(b, ch) / static_cast<float>(hw);
+      float* pd = dx.data() + (b * c + ch) * hw;
+      for (std::size_t i = 0; i < hw; ++i) pd[i] = g;
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  in_shape_ = x.shape();
+  Tensor y = x;
+  y.reshape({x.dim(0), x.size() / x.dim(0)});
+  return y;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  Tensor dx = grad_out;
+  dx.reshape(in_shape_);
+  return dx;
+}
+
+}  // namespace bprom::nn

@@ -1,0 +1,157 @@
+// Primitive layers: Linear, Conv2d, DepthwiseConv2d, BatchNorm2d, ReLU,
+// GELU, MaxPool2d, GlobalAvgPool, Flatten.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in, std::size_t out, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor input_;
+};
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+         std::size_t stride, std::size_t pad, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+
+ private:
+  std::size_t in_c_;
+  std::size_t out_c_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  Parameter weight_;  // [out_c, in_c * k * k]
+  Parameter bias_;    // [out_c]
+  tensor::ConvGeometry geom_;
+  Tensor cols_;  // cached im2col of last forward
+  std::size_t batch_ = 0;
+};
+
+/// Per-channel (depthwise) convolution: one k x k filter per input channel.
+class DepthwiseConv2d final : public Layer {
+ public:
+  DepthwiseConv2d(std::size_t channels, std::size_t kernel, std::size_t stride,
+                  std::size_t pad, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "DepthwiseConv2d"; }
+
+ private:
+  std::size_t channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  Parameter weight_;  // [channels, k * k]
+  Parameter bias_;    // [channels]
+  Tensor input_;
+};
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1F,
+                       float eps = 1e-5F);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override { return "BatchNorm2d"; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+  // Forward cache.
+  Tensor normalized_;
+  std::vector<float> batch_mean_;
+  std::vector<float> batch_inv_std_;
+  bool last_train_ = false;
+};
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;
+};
+
+class Gelu final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "GELU"; }
+
+ private:
+  Tensor input_;
+};
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window = 2);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> in_shape_;
+};
+
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace bprom::nn

@@ -1,0 +1,90 @@
+#include "nn/model.hpp"
+
+#include <cassert>
+
+#include "nn/loss.hpp"
+
+namespace bprom::nn {
+
+Model::Model(std::unique_ptr<Sequential> backbone,
+             std::unique_ptr<Linear> head, ImageShape input,
+             std::size_t classes)
+    : backbone_(std::move(backbone)),
+      head_(std::move(head)),
+      input_(input),
+      classes_(classes) {
+  assert(head_->out_features() == classes_);
+}
+
+Tensor Model::logits(const Tensor& images, bool train) {
+  Tensor f = backbone_->forward(images, train);
+  return head_->forward(f, train);
+}
+
+Tensor Model::features(const Tensor& images) {
+  return backbone_->forward(images, /*train=*/false);
+}
+
+Tensor Model::predict_proba(const Tensor& images) {
+  return softmax(logits(images, /*train=*/false));
+}
+
+std::vector<int> Model::predict(const Tensor& images) {
+  Tensor l = logits(images, /*train=*/false);
+  const std::size_t n = l.dim(0);
+  std::vector<int> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = l.data() + i * classes_;
+    std::size_t arg = 0;
+    for (std::size_t j = 1; j < classes_; ++j) {
+      if (row[j] > row[arg]) arg = j;
+    }
+    out[i] = static_cast<int>(arg);
+  }
+  return out;
+}
+
+double Model::accuracy(const Tensor& images, const std::vector<int>& labels) {
+  const auto preds = predict(images);
+  assert(preds.size() == labels.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(preds.size());
+}
+
+Tensor Model::backward(const Tensor& dlogits) {
+  Tensor g = head_->backward(dlogits);
+  return backbone_->backward(g);
+}
+
+std::vector<Parameter*> Model::parameters() {
+  auto params = backbone_->parameters();
+  for (auto* p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+std::vector<float> Model::save_parameters() {
+  std::vector<float> blob;
+  for (auto* p : parameters()) {
+    blob.insert(blob.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return blob;
+}
+
+void Model::load_parameters(const std::vector<float>& blob) {
+  std::size_t offset = 0;
+  for (auto* p : parameters()) {
+    assert(offset + p->value.size() <= blob.size());
+    std::copy(blob.begin() + static_cast<long>(offset),
+              blob.begin() + static_cast<long>(offset + p->value.size()),
+              p->value.vec().begin());
+    offset += p->value.size();
+  }
+  assert(offset == blob.size());
+}
+
+}  // namespace bprom::nn

@@ -1,0 +1,72 @@
+// Classifier model: feature backbone + linear head.
+//
+// Splitting the head out gives every analysis component (defenses, the
+// class-subspace figures) access to penultimate features without layer
+// surgery, and gives the VP trainer a single backward() that propagates all
+// the way to the *input* gradient — which is what prompt learning optimizes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/sequential.hpp"
+
+namespace bprom::nn {
+
+struct ImageShape {
+  std::size_t channels = 3;
+  std::size_t height = 16;
+  std::size_t width = 16;
+
+  [[nodiscard]] std::size_t size() const { return channels * height * width; }
+  bool operator==(const ImageShape&) const = default;
+};
+
+class Model {
+ public:
+  Model(std::unique_ptr<Sequential> backbone, std::unique_ptr<Linear> head,
+        ImageShape input, std::size_t classes);
+
+  /// Logits [N, K] for an image batch [N, C, H, W].
+  Tensor logits(const Tensor& images, bool train = false);
+
+  /// Penultimate features [N, D] (backbone output, eval mode).
+  Tensor features(const Tensor& images);
+
+  /// Softmax probabilities [N, K] (eval mode).
+  Tensor predict_proba(const Tensor& images);
+
+  /// Argmax predictions.
+  std::vector<int> predict(const Tensor& images);
+
+  /// Fraction of correct argmax predictions.
+  double accuracy(const Tensor& images, const std::vector<int>& labels);
+
+  /// Backprop dL/dlogits through head and backbone; returns dL/dinput.
+  /// Must follow a logits() call on the same batch.
+  Tensor backward(const Tensor& dlogits);
+
+  std::vector<Parameter*> parameters();
+
+  [[nodiscard]] const ImageShape& input_shape() const { return input_; }
+  [[nodiscard]] std::size_t num_classes() const { return classes_; }
+  [[nodiscard]] std::size_t feature_dim() const {
+    return head_->in_features();
+  }
+
+  /// Flatten all parameters into a blob / restore from one (round-trips
+  /// trained weights; BatchNorm running stats are NOT included, so save only
+  /// models intended for eval-mode use after a fresh stats pass, or keep the
+  /// object alive — the library keeps models in memory in practice).
+  [[nodiscard]] std::vector<float> save_parameters();
+  void load_parameters(const std::vector<float>& blob);
+
+ private:
+  std::unique_ptr<Sequential> backbone_;
+  std::unique_ptr<Linear> head_;
+  ImageShape input_;
+  std::size_t classes_;
+};
+
+}  // namespace bprom::nn

@@ -1,0 +1,27 @@
+#include "nn/sequential.hpp"
+
+namespace bprom::nn {
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (auto* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace bprom::nn

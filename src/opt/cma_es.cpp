@@ -1,0 +1,239 @@
+#include "opt/cma_es.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/eigen.hpp"
+
+namespace bprom::opt {
+
+CmaEs::CmaEs(CmaEsConfig config, std::vector<double> x0)
+    : config_(config), rng_(config.seed), mean_(std::move(x0)),
+      sigma_(config.sigma0) {
+  const auto n = static_cast<double>(config_.dim);
+  assert(mean_.size() == config_.dim && config_.dim > 0);
+
+  lambda_ = config_.lambda > 0
+                ? config_.lambda
+                : 4 + static_cast<std::size_t>(std::floor(3.0 * std::log(n)));
+  mu_ = lambda_ / 2;
+  weights_.resize(mu_);
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < mu_; ++i) {
+    weights_[i] = std::log(static_cast<double>(lambda_) / 2.0 + 0.5) -
+                  std::log(static_cast<double>(i + 1));
+    wsum += weights_[i];
+  }
+  double w2sum = 0.0;
+  for (auto& w : weights_) {
+    w /= wsum;
+    w2sum += w * w;
+  }
+  mu_eff_ = 1.0 / w2sum;
+
+  cc_ = (4.0 + mu_eff_ / n) / (n + 4.0 + 2.0 * mu_eff_ / n);
+  cs_ = (mu_eff_ + 2.0) / (n + mu_eff_ + 5.0);
+  c1_ = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff_);
+  cmu_ = std::min(1.0 - c1_, 2.0 * (mu_eff_ - 2.0 + 1.0 / mu_eff_) /
+                                 ((n + 2.0) * (n + 2.0) + mu_eff_));
+  if (config_.mode == CovarianceMode::kSeparable) {
+    // sep-CMA-ES learning-rate boost (Ros & Hansen 2008).
+    const double boost = (n + 1.5) / 3.0;
+    c1_ = std::min(1.0, c1_ * boost);
+    cmu_ = std::min(1.0 - c1_, cmu_ * boost);
+  }
+  damps_ = 1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff_ - 1.0) / (n + 1.0)) -
+                                         1.0) +
+           cs_;
+  chi_n_ = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+
+  pc_.assign(config_.dim, 0.0);
+  ps_.assign(config_.dim, 0.0);
+
+  if (config_.mode == CovarianceMode::kFull) {
+    cov_ = linalg::Matrix::identity(config_.dim);
+    eig_basis_ = linalg::Matrix::identity(config_.dim);
+    eig_sqrt_.assign(config_.dim, 1.0);
+  } else {
+    diag_cov_.assign(config_.dim, 1.0);
+  }
+}
+
+void CmaEs::update_eigensystem() {
+  auto eig = linalg::symmetric_eigen(cov_);
+  eig_basis_ = linalg::Matrix(config_.dim, config_.dim);
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    for (std::size_t k = 0; k < config_.dim; ++k) {
+      eig_basis_(k, i) = eig.vectors[i][k];
+    }
+  }
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    eig_sqrt_[i] = std::sqrt(std::max(eig.values[i], 1e-20));
+  }
+}
+
+std::vector<std::vector<double>> CmaEs::ask() {
+  const std::size_t n = config_.dim;
+  std::vector<std::vector<double>> candidates(lambda_,
+                                              std::vector<double>(n));
+  last_z_.assign(lambda_, std::vector<double>(n));
+  for (std::size_t k = 0; k < lambda_; ++k) {
+    for (auto& z : last_z_[k]) z = rng_.normal();
+    if (config_.mode == CovarianceMode::kFull) {
+      // x = m + sigma * B * D * z
+      std::vector<double> bdz(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dz = eig_sqrt_[i] * last_z_[k][i];
+        if (dz == 0.0) continue;
+        for (std::size_t r = 0; r < n; ++r) {
+          bdz[r] += eig_basis_(r, i) * dz;
+        }
+      }
+      for (std::size_t r = 0; r < n; ++r) {
+        candidates[k][r] = mean_[r] + sigma_ * bdz[r];
+      }
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        candidates[k][r] =
+            mean_[r] + sigma_ * std::sqrt(diag_cov_[r]) * last_z_[k][r];
+      }
+    }
+  }
+  return candidates;
+}
+
+void CmaEs::tell(const std::vector<std::vector<double>>& candidates,
+                 const std::vector<double>& fitness) {
+  assert(candidates.size() == lambda_ && fitness.size() == lambda_);
+  const std::size_t n = config_.dim;
+  evaluations_ += lambda_;
+  ++generations_;
+
+  std::vector<std::size_t> order(lambda_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fitness[a] < fitness[b];
+  });
+  if (fitness[order[0]] < best_f_) {
+    best_f_ = fitness[order[0]];
+    best_x_ = candidates[order[0]];
+  }
+
+  const std::vector<double> old_mean = mean_;
+  std::vector<double> zw(n, 0.0);  // weighted z-mean
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    double zacc = 0.0;
+    for (std::size_t i = 0; i < mu_; ++i) {
+      acc += weights_[i] * candidates[order[i]][r];
+      zacc += weights_[i] * last_z_[order[i]][r];
+    }
+    mean_[r] = acc;
+    zw[r] = zacc;
+  }
+
+  // ps update: C^{-1/2} (m_new - m_old) / sigma equals B z_w in full mode
+  // and z_w itself per-coordinate in separable mode.
+  std::vector<double> csz(n, 0.0);
+  if (config_.mode == CovarianceMode::kFull) {
+    for (std::size_t r = 0; r < n; ++r) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += eig_basis_(r, i) * zw[i];
+      csz[r] = acc;
+    }
+  } else {
+    csz = zw;
+  }
+  const double cs_fac = std::sqrt(cs_ * (2.0 - cs_) * mu_eff_);
+  double ps_norm_sq = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    ps_[r] = (1.0 - cs_) * ps_[r] + cs_fac * csz[r];
+    ps_norm_sq += ps_[r] * ps_[r];
+  }
+  const double ps_norm = std::sqrt(ps_norm_sq);
+
+  const double denom =
+      std::sqrt(1.0 - std::pow(1.0 - cs_,
+                               2.0 * static_cast<double>(generations_)));
+  const bool hsig =
+      ps_norm / std::max(denom, 1e-12) / chi_n_ <
+      1.4 + 2.0 / (static_cast<double>(n) + 1.0);
+
+  const double cc_fac = std::sqrt(cc_ * (2.0 - cc_) * mu_eff_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double y = (mean_[r] - old_mean[r]) / sigma_;
+    pc_[r] = (1.0 - cc_) * pc_[r] + (hsig ? cc_fac * y : 0.0);
+  }
+
+  const double delta_hsig = (1.0 - (hsig ? 1.0 : 0.0)) * cc_ * (2.0 - cc_);
+  if (config_.mode == CovarianceMode::kFull) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        double rank_mu = 0.0;
+        for (std::size_t i = 0; i < mu_; ++i) {
+          const double ya =
+              (candidates[order[i]][a] - old_mean[a]) / sigma_;
+          const double yb =
+              (candidates[order[i]][b] - old_mean[b]) / sigma_;
+          rank_mu += weights_[i] * ya * yb;
+        }
+        cov_(a, b) = (1.0 - c1_ - cmu_) * cov_(a, b) +
+                     c1_ * (pc_[a] * pc_[b] + delta_hsig * cov_(a, b)) +
+                     cmu_ * rank_mu;
+      }
+    }
+    // Lazy eigensystem refresh.
+    if (++eig_stale_ >=
+        std::max<std::size_t>(1, n / (10 * lambda_) + 1)) {
+      update_eigensystem();
+      eig_stale_ = 0;
+    }
+  } else {
+    for (std::size_t r = 0; r < n; ++r) {
+      double rank_mu = 0.0;
+      for (std::size_t i = 0; i < mu_; ++i) {
+        const double y = (candidates[order[i]][r] - old_mean[r]) / sigma_;
+        rank_mu += weights_[i] * y * y;
+      }
+      diag_cov_[r] = (1.0 - c1_ - cmu_) * diag_cov_[r] +
+                     c1_ * (pc_[r] * pc_[r] + delta_hsig * diag_cov_[r]) +
+                     cmu_ * rank_mu;
+      diag_cov_[r] = std::max(diag_cov_[r], 1e-20);
+    }
+  }
+
+  sigma_ *= std::exp((cs_ / damps_) * (ps_norm / chi_n_ - 1.0));
+  sigma_ = std::clamp(sigma_, 1e-12, 1e6);
+}
+
+CmaEsResult CmaEs::optimize(
+    const std::function<double(const std::vector<double>&)>& objective) {
+  double prev_best = 1e300;
+  std::size_t stall = 0;
+  while (evaluations_ < config_.max_evaluations) {
+    auto candidates = ask();
+    std::vector<double> fitness(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      fitness[i] = objective(candidates[i]);
+    }
+    tell(candidates, fitness);
+    if (config_.stall_generations > 0) {
+      if (prev_best - best_f_ > config_.tol) {
+        stall = 0;
+        prev_best = best_f_;
+      } else if (++stall >= config_.stall_generations) {
+        break;
+      }
+    }
+  }
+  CmaEsResult result;
+  result.best_x = best_x_.empty() ? mean_ : best_x_;
+  result.best_f = best_f_;
+  result.evaluations = evaluations_;
+  result.generations = generations_;
+  return result;
+}
+
+}  // namespace bprom::opt

@@ -1,0 +1,50 @@
+#include "opt/spsa.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace bprom::opt {
+
+SpsaResult spsa_minimize(
+    const SpsaConfig& config, std::vector<double> x0,
+    const std::function<double(const std::vector<double>&)>& objective) {
+  util::Rng rng(config.seed);
+  const std::size_t n = x0.size();
+  SpsaResult result;
+  result.best_x = x0;
+  result.best_f = objective(x0);
+  result.evaluations = 1;
+
+  std::vector<double> x = std::move(x0);
+  std::vector<double> delta(n);
+  std::vector<double> xp(n);
+  std::vector<double> xm(n);
+  std::size_t k = 0;
+  while (result.evaluations + 2 <= config.max_evaluations) {
+    ++k;
+    const double ak =
+        config.a / std::pow(static_cast<double>(k) + 50.0, config.alpha);
+    const double ck = config.c / std::pow(static_cast<double>(k), config.gamma);
+    for (std::size_t i = 0; i < n; ++i) {
+      delta[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      xp[i] = x[i] + ck * delta[i];
+      xm[i] = x[i] - ck * delta[i];
+    }
+    const double fp = objective(xp);
+    const double fm = objective(xm);
+    result.evaluations += 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ghat = (fp - fm) / (2.0 * ck * delta[i]);
+      x[i] -= ak * ghat;
+    }
+    const double fx = std::min(fp, fm);
+    if (fx < result.best_f) {
+      result.best_f = fx;
+      result.best_x = fp < fm ? xp : xm;
+    }
+  }
+  return result;
+}
+
+}  // namespace bprom::opt

@@ -1,0 +1,73 @@
+#include "tensor/im2col.hpp"
+
+#include <cassert>
+
+namespace bprom::tensor {
+
+Tensor im2col(const Tensor& input, const ConvGeometry& g) {
+  assert(input.rank() == 4);
+  const std::size_t n = input.dim(0);
+  assert(input.dim(1) == g.in_c && input.dim(2) == g.in_h &&
+         input.dim(3) == g.in_w);
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  Tensor cols({n * oh * ow, g.patch_size()});
+  float* out = cols.data();
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        for (std::size_t c = 0; c < g.in_c; ++c) {
+          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            const long iy =
+                static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const long ix = static_cast<long>(x * g.stride + kx) -
+                              static_cast<long>(g.pad);
+              float v = 0.0F;
+              if (iy >= 0 && iy < static_cast<long>(g.in_h) && ix >= 0 &&
+                  ix < static_cast<long>(g.in_w)) {
+                v = input.at4(b, c, static_cast<std::size_t>(iy),
+                              static_cast<std::size_t>(ix));
+              }
+              *out++ = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  assert(cols.dim(0) == batch * oh * ow && cols.dim(1) == g.patch_size());
+  Tensor img({batch, g.in_c, g.in_h, g.in_w});
+  const float* in = cols.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        for (std::size_t c = 0; c < g.in_c; ++c) {
+          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            const long iy =
+                static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const long ix = static_cast<long>(x * g.stride + kx) -
+                              static_cast<long>(g.pad);
+              const float v = *in++;
+              if (iy >= 0 && iy < static_cast<long>(g.in_h) && ix >= 0 &&
+                  ix < static_cast<long>(g.in_w)) {
+                img.at4(b, c, static_cast<std::size_t>(iy),
+                        static_cast<std::size_t>(ix)) += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace bprom::tensor

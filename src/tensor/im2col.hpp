@@ -1,0 +1,36 @@
+// im2col / col2im for convolution lowering to matrix multiplication.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace bprom::tensor {
+
+struct ConvGeometry {
+  std::size_t in_c = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t pad = 1;
+
+  [[nodiscard]] std::size_t out_h() const {
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const {
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::size_t patch_size() const {
+    return in_c * kernel * kernel;
+  }
+};
+
+/// input:  [N, C, H, W]
+/// output: [N * out_h * out_w, C * k * k]  (row per output location)
+Tensor im2col(const Tensor& input, const ConvGeometry& g);
+
+/// Inverse scatter-add of im2col; returns [N, C, H, W].
+Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch);
+
+}  // namespace bprom::tensor

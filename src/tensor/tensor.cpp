@@ -1,0 +1,75 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+
+namespace bprom::tensor {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t total = 1;
+  for (auto d : shape) total *= d;
+  return total;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  assert(shape_size(shape) == data_.size());
+  shape_ = std::move(shape);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::add(const Tensor& rhs) {
+  assert(rhs.size() == size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled(const Tensor& rhs, float scale) {
+  assert(rhs.size() == size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * rhs.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::scale(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, util::Rng& rng,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::slice_sample(std::size_t n) const {
+  assert(rank() >= 1 && n < shape_[0]);
+  std::vector<std::size_t> sub(shape_.begin() + 1, shape_.end());
+  Tensor out(sub);
+  const std::size_t stride = out.size();
+  std::copy(data_.begin() + static_cast<long>(n * stride),
+            data_.begin() + static_cast<long>((n + 1) * stride),
+            out.data_.begin());
+  return out;
+}
+
+Tensor Tensor::stack(const std::vector<Tensor>& samples) {
+  assert(!samples.empty());
+  std::vector<std::size_t> shape;
+  shape.push_back(samples.size());
+  for (auto d : samples.front().shape()) shape.push_back(d);
+  Tensor out(shape);
+  const std::size_t stride = samples.front().size();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    assert(samples[i].size() == stride);
+    std::copy(samples[i].data_.begin(), samples[i].data_.end(),
+              out.data_.begin() + static_cast<long>(i * stride));
+  }
+  return out;
+}
+
+}  // namespace bprom::tensor

@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace bprom::util {
+
+Scale scale() {
+  static Scale cached = [] {
+    const char* env = std::getenv("BPROM_SCALE");
+    if (env == nullptr) return Scale::kDefault;
+    const std::string v(env);
+    if (v == "0" || v == "smoke") return Scale::kSmoke;
+    if (v == "2" || v == "heavy") return Scale::kHeavy;
+    return Scale::kDefault;
+  }();
+  return cached;
+}
+
+std::size_t env_size(const std::string& name, std::size_t fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace bprom::util

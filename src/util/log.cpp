@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace bprom::util {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("BPROM_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* label(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+void set_log_level(LogLevel level) { level_ref() = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[bprom " << label(level) << "] " << msg << '\n';
+}
+
+}  // namespace bprom::util

@@ -1,0 +1,37 @@
+// Tiny leveled logger.  Default level is Info; BPROM_LOG=debug|info|warn|off
+// overrides.  Output goes to stderr so bench tables on stdout stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bprom::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+
+}  // namespace bprom::util

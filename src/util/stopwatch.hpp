@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for the training-time experiment (§6.2).
+#pragma once
+
+#include <chrono>
+
+namespace bprom::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bprom::util

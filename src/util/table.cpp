@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace bprom::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto hline = [&] {
+    out << '+';
+    for (auto w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cellv = c < row.size() ? row[c] : std::string();
+      out << ' ' << cellv << std::string(width[c] - cellv.size() + 1, ' ')
+          << '|';
+    }
+    out << '\n';
+  };
+  hline();
+  emit(header_);
+  hline();
+  for (const auto& row : rows_) emit(row);
+  hline();
+  return out.str();
+}
+
+void TablePrinter::print() const { std::cout << str() << std::flush; }
+
+std::string cell(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string cell(int v) { return std::to_string(v); }
+std::string cell(std::size_t v) { return std::to_string(v); }
+
+}  // namespace bprom::util

@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark/report output.
+//
+// Benches regenerate the paper's tables; TablePrinter renders rows with
+// aligned columns so the reproduced output is directly comparable to the
+// paper's layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bprom::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row (cells are converted to strings by the caller;
+  /// see cell() helpers below).
+  void add_row(std::vector<std::string> row);
+
+  /// Render to a string with box-drawing separators.
+  [[nodiscard]] std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 3 digits, the paper's style).
+std::string cell(double v, int precision = 3);
+std::string cell(int v);
+std::string cell(std::size_t v);
+
+}  // namespace bprom::util

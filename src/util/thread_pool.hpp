@@ -1,0 +1,51 @@
+// Minimal fixed-size thread pool used to train shadow-model populations and
+// suspicious-model cohorts in parallel.
+//
+// Work items are type-erased closures; parallel_for provides the common
+// index-sharded pattern with exception propagation to the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bprom::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future reports completion / exception.
+  std::future<void> submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, n) across the given pool (or a transient pool if
+/// pool == nullptr).  Rethrows the first exception encountered.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace bprom::util

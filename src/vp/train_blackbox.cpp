@@ -1,0 +1,72 @@
+#include "vp/train_blackbox.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "data/ops.hpp"
+#include "opt/spsa.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::vp {
+
+BlackBoxPromptResult learn_prompt_blackbox(
+    const nn::BlackBoxModel& model, const nn::LabeledData& target_train,
+    const BlackBoxPromptConfig& config) {
+  VisualPrompt prompt(model.input_shape(), PromptMode::kAdditiveCoarse);
+  util::Rng rng(config.seed);
+
+  // Fixed evaluation subsample (same for every candidate, so fitness is a
+  // deterministic function of theta — CMA-ES assumes a stationary objective).
+  const std::size_t n_eval = std::min(config.eval_samples, target_train.size());
+  nn::LabeledData eval_set = data::subset(
+      target_train,
+      rng.sample_without_replacement(target_train.size(), n_eval));
+
+  const std::size_t k = model.num_classes();
+  const std::size_t query_base = model.query_count();
+
+  auto objective = [&](const std::vector<double>& theta) -> double {
+    VisualPrompt candidate(model.input_shape(), PromptMode::kAdditiveCoarse);
+    candidate.set_theta(theta);
+    Tensor probs = model.predict_proba(candidate.apply(eval_set.images));
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n_eval; ++i) {
+      const auto label = static_cast<std::size_t>(eval_set.labels[i]);
+      assert(label < k);
+      loss -= std::log(
+          std::max(static_cast<double>(probs.data()[i * k + label]), 1e-9));
+    }
+    return loss / static_cast<double>(n_eval);
+  };
+
+  std::vector<double> best_x;
+  double best_f = 0.0;
+  if (config.optimizer == BlackBoxOptimizer::kCmaEs) {
+    opt::CmaEsConfig cma;
+    cma.dim = prompt.num_params();
+    cma.sigma0 = config.sigma0;
+    cma.mode = config.mode;
+    cma.max_evaluations = config.max_evaluations;
+    cma.seed = config.seed ^ 0xB1ACBB0FULL;
+    opt::CmaEs solver(cma, std::vector<double>(cma.dim, 0.0));
+    auto result = solver.optimize(objective);
+    best_x = std::move(result.best_x);
+    best_f = result.best_f;
+  } else {
+    opt::SpsaConfig spsa;
+    spsa.max_evaluations = config.max_evaluations;
+    spsa.seed = config.seed ^ 0xB1ACBB0FULL;
+    auto result = opt::spsa_minimize(
+        spsa, std::vector<double>(prompt.num_params(), 0.0), objective);
+    best_x = std::move(result.best_x);
+    best_f = result.best_f;
+  }
+
+  prompt.set_theta(best_x);
+  BlackBoxPromptResult out{std::move(prompt), best_f,
+                           model.query_count() - query_base};
+  return out;
+}
+
+}  // namespace bprom::vp

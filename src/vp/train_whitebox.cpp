@@ -1,0 +1,73 @@
+#include "vp/train_whitebox.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "util/rng.hpp"
+
+namespace bprom::vp {
+
+VisualPrompt learn_prompt_whitebox(nn::Model& source_model,
+                                   const nn::LabeledData& target_train,
+                                   const WhiteBoxPromptConfig& config) {
+  VisualPrompt prompt(source_model.input_shape(), PromptMode::kAdditiveCoarse);
+  assert(target_train.size() > 0);
+  assert(source_model.num_classes() >= 1);
+
+  util::Rng rng(config.seed);
+  std::vector<float> theta = prompt.theta();
+  // Adam state for theta.
+  std::vector<float> m(theta.size(), 0.0F);
+  std::vector<float> v(theta.size(), 0.0F);
+  long t = 0;
+
+  const std::size_t sample =
+      target_train.images.size() / target_train.size();
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    auto order = rng.permutation(target_train.size());
+    for (std::size_t begin = 0; begin < target_train.size();
+         begin += config.batch_size) {
+      const std::size_t end =
+          std::min(begin + config.batch_size, target_train.size());
+      std::vector<std::size_t> shape = target_train.images.shape();
+      shape[0] = end - begin;
+      Tensor batch(shape);
+      std::vector<int> labels(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        std::copy(
+            target_train.images.data() + order[i] * sample,
+            target_train.images.data() + (order[i] + 1) * sample,
+            batch.data() + (i - begin) * sample);
+        labels[i - begin] = target_train.labels[order[i]];
+      }
+
+      prompt.set_theta(theta);
+      Tensor canvas = prompt.apply(batch);
+      // Frozen model: eval-mode statistics, but gradients flow to the input.
+      Tensor logits = source_model.logits(canvas, /*train=*/false);
+      nn::LossResult loss = nn::cross_entropy(logits, labels);
+      // Zero parameter grads afterwards is unnecessary — we never step them;
+      // they are cleared by the next optimizer owner if any.
+      Tensor dcanvas = source_model.backward(loss.dlogits);
+      std::vector<float> grad = prompt.gradient(dcanvas);
+
+      ++t;
+      const float bc1 = 1.0F - std::pow(0.9F, static_cast<float>(t));
+      const float bc2 = 1.0F - std::pow(0.999F, static_cast<float>(t));
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        m[i] = 0.9F * m[i] + 0.1F * grad[i];
+        v[i] = 0.999F * v[i] + 0.001F * grad[i] * grad[i];
+        theta[i] -=
+            config.lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + 1e-8F);
+      }
+    }
+  }
+  prompt.set_theta(theta);
+  // Clear the parameter gradients we polluted while backpropagating.
+  for (auto* p : source_model.parameters()) p->zero_grad();
+  return prompt;
+}
+
+}  // namespace bprom::vp

@@ -1,0 +1,23 @@
+// White-box prompt learning for shadow models: backprop through the frozen
+// source model down to the canvas, then into theta (Adam on theta only).
+#pragma once
+
+#include "nn/trainer.hpp"
+#include "vp/prompted_model.hpp"
+
+namespace bprom::vp {
+
+struct WhiteBoxPromptConfig {
+  std::size_t epochs = 6;
+  std::size_t batch_size = 32;
+  float lr = 0.15F;
+  std::uint64_t seed = 3;
+};
+
+/// Learn theta on the target training set by gradient descent; the model's
+/// own parameters are left untouched (gradients are computed but discarded).
+VisualPrompt learn_prompt_whitebox(nn::Model& source_model,
+                                   const nn::LabeledData& target_train,
+                                   const WhiteBoxPromptConfig& config);
+
+}  // namespace bprom::vp

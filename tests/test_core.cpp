@@ -1,0 +1,90 @@
+// End-to-end BPROM pipeline tests (smoke scale).
+#include <gtest/gtest.h>
+#include "core/experiment.hpp"
+namespace bprom {
+namespace {
+
+core::ExperimentScale tiny_scale() {
+  core::ExperimentScale s;
+  s.suspicious_train = 200;
+  s.suspicious_epochs = 4;
+  s.population_per_side = 2;
+  s.shadows_per_side = 2;
+  s.shadow_epochs = 4;
+  s.prompt_epochs = 2;
+  s.blackbox_evals = 80;
+  s.query_samples = 8;
+  s.forest_trees = 40;
+  return s;
+}
+
+TEST(Bprom, FitAndInspectSmoke) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 1, 1000, 400);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 2, 600, 300);
+  auto scale = tiny_scale();
+  auto detector = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale);
+  EXPECT_TRUE(detector.fitted());
+  const auto& diag = detector.diagnostics();
+  EXPECT_EQ(diag.clean_shadow_prompted_accuracy.size(), 2u);
+  EXPECT_EQ(diag.backdoor_shadow_prompted_accuracy.size(), 2u);
+  EXPECT_EQ(diag.meta_features.size(), 4u);
+
+  auto cln = core::train_clean_model(src, nn::ArchKind::kResNet18Mini, 91, scale);
+  nn::BlackBoxAdapter box(*cln.model);
+  auto verdict = detector.inspect(box);
+  EXPECT_GE(verdict.score, 0.0);
+  EXPECT_LE(verdict.score, 1.0);
+  EXPECT_GE(verdict.prompted_accuracy, 0.0);
+  EXPECT_LE(verdict.prompted_accuracy, 1.0);
+  EXPECT_GT(verdict.queries, 0u);
+}
+
+TEST(Bprom, BlackBoxDisciplineQueriesCounted) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 3, 600, 300);
+  auto scale = tiny_scale();
+  auto cln = core::train_clean_model(src, nn::ArchKind::kResNet18Mini, 92, scale);
+  nn::BlackBoxAdapter box(*cln.model);
+  EXPECT_EQ(box.query_count(), 0u);
+  nn::Tensor batch({4, 3, 16, 16}, 0.5F);
+  box.predict_proba(batch);
+  EXPECT_EQ(box.query_count(), 4u);
+}
+
+TEST(Bprom, PopulationScoringShapes) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 4, 1000, 400);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 5, 600, 300);
+  auto scale = tiny_scale();
+  auto detector = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale);
+  auto atk = attacks::AttackConfig::defaults(attacks::AttackKind::kBadNets);
+  auto pop = core::build_population(src, atk, nn::ArchKind::kResNet18Mini,
+                                    2, 40, scale);
+  EXPECT_EQ(pop.size(), 4u);
+  auto scores = core::score_population(detector, pop);
+  EXPECT_EQ(scores.scores.size(), 4u);
+  const double auroc = scores.auroc();
+  EXPECT_GE(auroc, 0.0);
+  EXPECT_LE(auroc, 1.0);
+}
+
+TEST(Bprom, ExperimentScaleRespondsToEnv) {
+  auto s = core::ExperimentScale::current();
+  EXPECT_GT(s.suspicious_train, 0u);
+  EXPECT_GT(s.shadows_per_side, 0u);
+}
+
+TEST(Bprom, TrainedBackdooredModelHasTriggers) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 6, 1500, 500);
+  core::ExperimentScale scale = tiny_scale();
+  scale.suspicious_train = 400;
+  scale.suspicious_epochs = 6;
+  auto atk = attacks::AttackConfig::defaults(attacks::AttackKind::kBadNets, 1);
+  auto m = core::train_backdoored_model(src, atk, nn::ArchKind::kResNet18Mini,
+                                        93, scale);
+  EXPECT_GT(m.asr, 0.7);
+  EXPECT_GT(m.clean_accuracy, 0.75);
+}
+
+}  // namespace
+}  // namespace bprom

@@ -1,0 +1,178 @@
+// Dataset generation and backdoor attack invariants.
+#include <gtest/gtest.h>
+#include <set>
+#include "attacks/poisoner.hpp"
+#include "data/generator.hpp"
+#include "data/ops.hpp"
+namespace bprom {
+namespace {
+
+TEST(Data, DeterministicFromSeed) {
+  auto a = data::make_dataset(data::DatasetKind::kCifar10, 42, 100, 50);
+  auto b = data::make_dataset(data::DatasetKind::kCifar10, 42, 100, 50);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  for (std::size_t i = 0; i < a.train.images.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+  }
+}
+
+TEST(Data, DifferentSeedsDiffer) {
+  auto a = data::make_dataset(data::DatasetKind::kCifar10, 1, 50, 10);
+  auto b = data::make_dataset(data::DatasetKind::kCifar10, 2, 50, 10);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train.images.size(); ++i) {
+    if (a.train.images[i] != b.train.images[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Data, PixelsInUnitRange) {
+  auto ds = data::make_dataset(data::DatasetKind::kGtsrb, 3, 200, 10);
+  for (float v : ds.train.images.vec()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Data, ClassBalanceApproximatelyUniform) {
+  auto ds = data::make_dataset(data::DatasetKind::kCifar10, 4, 1000, 10);
+  auto hist = data::class_histogram(ds.train, 10);
+  for (auto h : hist) EXPECT_NEAR(static_cast<double>(h), 100.0, 1.0);
+}
+
+TEST(Data, ProfilesHaveExpectedClassCounts) {
+  EXPECT_EQ(data::profile(data::DatasetKind::kCifar10).classes, 10u);
+  EXPECT_EQ(data::profile(data::DatasetKind::kGtsrb).classes, 43u);
+  EXPECT_EQ(data::profile(data::DatasetKind::kStl10).classes, 10u);
+}
+
+TEST(DataOps, SubsetAndFraction) {
+  auto ds = data::make_dataset(data::DatasetKind::kCifar10, 5, 100, 100);
+  util::Rng rng(1);
+  auto frac = data::sample_fraction(ds.test, 0.10, rng);
+  EXPECT_EQ(frac.size(), 10u);
+  auto sub = data::subset(ds.train, {0, 5, 7});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.labels[1], ds.train.labels[5]);
+}
+
+TEST(DataOps, Downscale2xAverages) {
+  nn::Tensor img({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) img[i] = static_cast<float>(i);
+  auto small = data::downscale2x(img);
+  EXPECT_EQ(small.dim(2), 2u);
+  EXPECT_FLOAT_EQ(small.at4(0, 0, 0, 0), (0 + 1 + 4 + 5) / 4.0F);
+}
+
+class AttackSweep : public ::testing::TestWithParam<attacks::AttackKind> {};
+
+TEST_P(AttackSweep, PoisonRateHonoredAndBounded) {
+  auto ds = data::make_dataset(data::DatasetKind::kCifar10, 6, 400, 10);
+  auto cfg = attacks::AttackConfig::defaults(GetParam(), 0);
+  util::Rng rng(2);
+  auto result = attacks::poison_dataset(ds.train, cfg, rng);
+  // Stamp count matches the configured rate over the eligible candidates.
+  std::size_t eligible = ds.train.size();
+  if (attacks::is_clean_label(GetParam())) {
+    eligible = data::class_histogram(ds.train, 10)[0];
+  }
+  EXPECT_NEAR(static_cast<double>(result.stats.poisoned),
+              cfg.poison_rate * static_cast<double>(eligible), 2.0);
+  // All pixels stay in range.
+  for (float v : result.data.images.vec()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+  // Mask agrees with stats.
+  std::size_t mask_count = 0;
+  for (char m : result.poison_mask) mask_count += static_cast<std::size_t>(m);
+  EXPECT_EQ(mask_count, result.stats.poisoned);
+}
+
+TEST_P(AttackSweep, LabelSemantics) {
+  auto ds = data::make_dataset(data::DatasetKind::kCifar10, 7, 400, 10);
+  auto cfg = attacks::AttackConfig::defaults(GetParam(), 2);
+  util::Rng rng(3);
+  auto result = attacks::poison_dataset(ds.train, cfg, rng);
+  for (std::size_t i = 0; i < result.data.size(); ++i) {
+    if (!result.poison_mask[i]) continue;
+    if (attacks::is_clean_label(GetParam())) {
+      // Clean-label: label unchanged and equal to the target class.
+      EXPECT_EQ(result.data.labels[i], ds.train.labels[i]);
+      EXPECT_EQ(result.data.labels[i], 2);
+    } else {
+      EXPECT_EQ(result.data.labels[i], 2);
+    }
+  }
+  // Cover samples keep their true label.
+  for (std::size_t i = 0; i < result.data.size(); ++i) {
+    if (result.cover_mask[i]) {
+      EXPECT_EQ(result.data.labels[i], ds.train.labels[i]);
+    }
+  }
+}
+
+TEST_P(AttackSweep, TriggerActuallyChangesImage) {
+  auto ds = data::make_dataset(data::DatasetKind::kCifar10, 8, 8, 4);
+  attacks::TriggerEngine engine(attacks::AttackConfig::defaults(GetParam()),
+                                ds.profile.shape);
+  nn::Tensor stamped = ds.train.images;
+  engine.apply_all(stamped);
+  double delta = 0;
+  for (std::size_t i = 0; i < stamped.size(); ++i) {
+    delta += std::abs(stamped[i] - ds.train.images[i]);
+  }
+  EXPECT_GT(delta, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttacks, AttackSweep,
+    ::testing::Values(
+        attacks::AttackKind::kBadNets, attacks::AttackKind::kBlend,
+        attacks::AttackKind::kTrojan, attacks::AttackKind::kWaNet,
+        attacks::AttackKind::kDynamic, attacks::AttackKind::kAdapBlend,
+        attacks::AttackKind::kAdapPatch, attacks::AttackKind::kBpp,
+        attacks::AttackKind::kSig, attacks::AttackKind::kLc,
+        attacks::AttackKind::kRefool, attacks::AttackKind::kPoisonInk));
+
+TEST(Attacks, SampleSpecificTriggersVaryAcrossImages) {
+  auto ds = data::make_dataset(data::DatasetKind::kCifar10, 9, 16, 4);
+  attacks::TriggerEngine engine(
+      attacks::AttackConfig::defaults(attacks::AttackKind::kDynamic),
+      ds.profile.shape);
+  nn::Tensor stamped = ds.train.images;
+  engine.apply_all(stamped);
+  // Locate modified pixels per image; positions should differ across images.
+  std::set<std::size_t> first_positions;
+  std::vector<std::set<std::size_t>> all;
+  const std::size_t sz = ds.profile.shape.size();
+  for (std::size_t i = 0; i < ds.train.size(); ++i) {
+    std::set<std::size_t> pos;
+    for (std::size_t p = 0; p < sz; ++p) {
+      if (stamped[i * sz + p] != ds.train.images[i * sz + p]) pos.insert(p);
+    }
+    all.push_back(pos);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i] != all[0]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Attacks, MultiTargetPoisoningCombines) {
+  auto ds = data::make_dataset(data::DatasetKind::kCifar10, 10, 300, 10);
+  std::vector<attacks::AttackConfig> cfgs;
+  for (int t = 0; t < 3; ++t) {
+    auto c = attacks::AttackConfig::defaults(attacks::AttackKind::kBadNets, t);
+    c.poison_rate = 0.05;
+    c.seed = 100 + static_cast<std::uint64_t>(t);
+    cfgs.push_back(c);
+  }
+  util::Rng rng(4);
+  auto result = attacks::poison_dataset_multi(ds.train, cfgs, rng);
+  EXPECT_GT(result.stats.poisoned, 30u);
+}
+
+}  // namespace
+}  // namespace bprom

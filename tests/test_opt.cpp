@@ -1,0 +1,112 @@
+// Black-box optimizer tests on standard functions.
+#include <gtest/gtest.h>
+#include <cmath>
+#include "opt/cma_es.hpp"
+#include "opt/spsa.hpp"
+namespace bprom::opt {
+namespace {
+
+double sphere(const std::vector<double>& x) {
+  double acc = 0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double rosenbrock(const std::vector<double>& x) {
+  double acc = 0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    acc += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2) + std::pow(1 - x[i], 2);
+  }
+  return acc;
+}
+
+class CmaModes : public ::testing::TestWithParam<CovarianceMode> {};
+
+TEST_P(CmaModes, MinimizesSphere) {
+  CmaEsConfig cfg;
+  cfg.dim = 8;
+  cfg.sigma0 = 0.5;
+  cfg.mode = GetParam();
+  cfg.max_evaluations = 4000;
+  CmaEs solver(cfg, std::vector<double>(8, 2.0));
+  auto result = solver.optimize(sphere);
+  EXPECT_LT(result.best_f, 1e-4);
+}
+
+TEST_P(CmaModes, MinimizesShiftedSphere) {
+  CmaEsConfig cfg;
+  cfg.dim = 5;
+  cfg.sigma0 = 0.5;
+  cfg.mode = GetParam();
+  cfg.max_evaluations = 4000;
+  CmaEs solver(cfg, std::vector<double>(5, 0.0));
+  auto result = solver.optimize([](const std::vector<double>& x) {
+    double acc = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      acc += (x[i] - 1.5) * (x[i] - 1.5);
+    }
+    return acc;
+  });
+  for (double v : result.best_x) EXPECT_NEAR(v, 1.5, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, CmaModes,
+                         ::testing::Values(CovarianceMode::kFull,
+                                           CovarianceMode::kSeparable));
+
+TEST(CmaEs, FullModeHandlesRosenbrockBetterThanStart) {
+  CmaEsConfig cfg;
+  cfg.dim = 4;
+  cfg.sigma0 = 0.3;
+  cfg.mode = CovarianceMode::kFull;
+  cfg.max_evaluations = 6000;
+  CmaEs solver(cfg, std::vector<double>(4, -1.0));
+  auto result = solver.optimize(rosenbrock);
+  EXPECT_LT(result.best_f, 1.0);
+}
+
+TEST(CmaEs, RespectsEvaluationBudget) {
+  CmaEsConfig cfg;
+  cfg.dim = 6;
+  cfg.max_evaluations = 200;
+  cfg.stall_generations = 0;
+  CmaEs solver(cfg, std::vector<double>(6, 1.0));
+  auto result = solver.optimize(sphere);
+  EXPECT_LE(result.evaluations, 220u);  // one generation of slack
+}
+
+TEST(CmaEs, AskTellInterface) {
+  CmaEsConfig cfg;
+  cfg.dim = 3;
+  CmaEs solver(cfg, std::vector<double>(3, 1.0));
+  for (int gen = 0; gen < 20; ++gen) {
+    auto cands = solver.ask();
+    std::vector<double> fit(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i) fit[i] = sphere(cands[i]);
+    solver.tell(cands, fit);
+  }
+  EXPECT_LT(solver.best_f(), sphere(std::vector<double>(3, 1.0)));
+}
+
+TEST(Spsa, MinimizesSphere) {
+  SpsaConfig cfg;
+  cfg.max_evaluations = 3000;
+  auto result = spsa_minimize(cfg, std::vector<double>(10, 1.5), sphere);
+  EXPECT_LT(result.best_f, sphere(std::vector<double>(10, 1.5)) * 0.05);
+}
+
+TEST(Spsa, RespectsBudget) {
+  SpsaConfig cfg;
+  cfg.max_evaluations = 101;
+  std::size_t calls = 0;
+  auto result = spsa_minimize(cfg, std::vector<double>(4, 1.0),
+                              [&](const std::vector<double>& x) {
+                                ++calls;
+                                return sphere(x);
+                              });
+  EXPECT_LE(calls, 101u);
+  EXPECT_EQ(result.evaluations, calls);
+}
+
+}  // namespace
+}  // namespace bprom::opt

@@ -1,0 +1,232 @@
+// Training framework tests: tensor ops, im2col, gradient checks via finite
+// differences, loss, optimizers, architecture factory, training convergence.
+#include <gtest/gtest.h>
+#include <cmath>
+#include "nn/arch.hpp"
+#include "nn/blocks.hpp"
+#include "nn/attention.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/im2col.hpp"
+namespace bprom::nn {
+namespace {
+
+TEST(Tensor, ShapeAndAccessors) {
+  Tensor t({2, 3, 4, 4});
+  EXPECT_EQ(t.size(), 96u);
+  t.at4(1, 2, 3, 3) = 7.0F;
+  EXPECT_FLOAT_EQ(t[95], 7.0F);
+}
+
+TEST(Tensor, StackAndSlice) {
+  Tensor a({2, 2}, 1.0F);
+  Tensor b({2, 2}, 2.0F);
+  Tensor s = Tensor::stack({a, b});
+  EXPECT_EQ(s.dim(0), 2u);
+  Tensor back = s.slice_sample(1);
+  EXPECT_FLOAT_EQ(back[0], 2.0F);
+}
+
+TEST(Im2Col, IdentityKernelGeometry) {
+  tensor::ConvGeometry g{1, 3, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 3u);
+  Tensor x({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i);
+  Tensor cols = tensor::im2col(x, g);
+  EXPECT_EQ(cols.dim(0), 9u);
+  EXPECT_EQ(cols.dim(1), 9u);
+  // Center output position sees the whole image.
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(cols.at2(4, i), static_cast<float>(i));
+  }
+}
+
+TEST(Im2Col, Col2ImAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> (adjoint property).
+  util::Rng rng(3);
+  tensor::ConvGeometry g{2, 4, 4, 3, 2, 1};
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor y = Tensor::randn({g.out_h() * g.out_w(), g.patch_size()}, rng);
+  Tensor cols = tensor::im2col(x, g);
+  double lhs = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  Tensor xt = tensor::col2im(y, g, 1);
+  double rhs = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// Finite-difference gradient check through a whole model.
+void check_input_gradient(Model& model, double tol) {
+  util::Rng rng(11);
+  Tensor x = Tensor::randn({2, model.input_shape().channels,
+                            model.input_shape().height,
+                            model.input_shape().width}, rng, 0.5F);
+  std::vector<int> labels{0, 1};
+  Tensor logits = model.logits(x, false);
+  LossResult loss = cross_entropy(logits, labels);
+  Tensor dx = model.backward(loss.dlogits);
+
+  const float eps = 1e-2F;
+  util::Rng pick(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t i = pick.uniform_index(x.size());
+    Tensor xp = x;
+    xp[i] += eps;
+    double lp = cross_entropy(model.logits(xp, false), labels).loss;
+    Tensor xm = x;
+    xm[i] -= eps;
+    double lm = cross_entropy(model.logits(xm, false), labels).loss;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(dx[i], numeric, tol) << "input index " << i;
+  }
+}
+
+TEST(Gradients, MlpInputGradientMatchesFiniteDifference) {
+  util::Rng rng(1);
+  auto model = make_model(ArchKind::kMlp, ImageShape{3, 8, 8}, 4, rng);
+  check_input_gradient(*model, 2e-3);
+}
+
+TEST(Gradients, ResNetInputGradientMatchesFiniteDifference) {
+  util::Rng rng(2);
+  auto model = make_model(ArchKind::kResNet18Mini, ImageShape{3, 8, 8}, 4, rng);
+  check_input_gradient(*model, 5e-3);
+}
+
+TEST(Gradients, MobileNetInputGradientMatchesFiniteDifference) {
+  util::Rng rng(3);
+  auto model = make_model(ArchKind::kMobileNetV2Mini, ImageShape{3, 8, 8}, 4, rng);
+  check_input_gradient(*model, 5e-3);
+}
+
+TEST(Gradients, AttentionInputGradientMatchesFiniteDifference) {
+  util::Rng rng(4);
+  auto model = make_model(ArchKind::kSwinMini, ImageShape{3, 8, 8}, 4, rng);
+  check_input_gradient(*model, 8e-3);
+}
+
+TEST(Gradients, ParameterGradientMatchesFiniteDifference) {
+  util::Rng rng(5);
+  auto model = make_model(ArchKind::kMlp, ImageShape{3, 8, 8}, 4, rng);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng, 0.5F);
+  std::vector<int> labels{1, 3};
+  for (auto* p : model->parameters()) p->zero_grad();
+  LossResult loss = cross_entropy(model->logits(x, false), labels);
+  model->backward(loss.dlogits);
+  auto params = model->parameters();
+  Parameter* w = params[0];
+  const float eps = 1e-2F;
+  util::Rng pick(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t i = pick.uniform_index(w->value.size());
+    const float orig = w->value[i];
+    w->value[i] = orig + eps;
+    double lp = cross_entropy(model->logits(x, false), labels).loss;
+    w->value[i] = orig - eps;
+    double lm = cross_entropy(model->logits(x, false), labels).loss;
+    w->value[i] = orig;
+    EXPECT_NEAR(w->grad[i], (lp - lm) / (2.0 * eps), 2e-3);
+  }
+}
+
+TEST(Loss, SoftmaxRowsSumToOne) {
+  util::Rng rng(6);
+  Tensor logits = Tensor::randn({4, 5}, rng, 2.0F);
+  Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 4; ++i) {
+    float sum = 0;
+    for (std::size_t j = 0; j < 5; ++j) sum += p.at2(i, j);
+    EXPECT_NEAR(sum, 1.0F, 1e-5);
+  }
+}
+
+TEST(Loss, CrossEntropyOfUniformIsLogK) {
+  Tensor logits({2, 4}, 0.0F);
+  LossResult loss = cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(loss.loss, std::log(4.0), 1e-6);
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 via Parameter machinery.
+  Parameter w(Tensor({1}, 0.0F));
+  Sgd opt({&w}, 0.1F, 0.0F);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    w.grad[0] = 2.0F * (w.value[0] - 3.0F);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0F, 1e-3);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  Parameter w(Tensor({1}, 0.0F));
+  Adam opt({&w}, 0.1F);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    w.grad[0] = 2.0F * (w.value[0] - 3.0F);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0F, 1e-2);
+}
+
+class ArchTest : public ::testing::TestWithParam<ArchKind> {};
+
+TEST_P(ArchTest, OutputShapeAndProbabilities) {
+  util::Rng rng(9);
+  auto model = make_model(GetParam(), ImageShape{3, 16, 16}, 7, rng);
+  Tensor x = Tensor::randn({3, 3, 16, 16}, rng, 0.3F);
+  Tensor probs = model->predict_proba(x);
+  EXPECT_EQ(probs.dim(0), 3u);
+  EXPECT_EQ(probs.dim(1), 7u);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_GE(probs[i], 0.0F);
+    EXPECT_LE(probs[i], 1.0F);
+  }
+}
+
+TEST_P(ArchTest, SaveLoadRoundTrip) {
+  util::Rng rng(10);
+  auto model = make_model(GetParam(), ImageShape{3, 16, 16}, 5, rng);
+  auto blob = model->save_parameters();
+  util::Rng rng2(999);
+  auto other = make_model(GetParam(), ImageShape{3, 16, 16}, 5, rng2);
+  other->load_parameters(blob);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng, 0.3F);
+  Tensor a = model->logits(x, false);
+  Tensor b = other->logits(x, false);
+  // BatchNorm running stats are not serialized, but fresh models share the
+  // init defaults, so eval outputs match.
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, ArchTest,
+    ::testing::Values(ArchKind::kResNet18Mini, ArchKind::kMobileNetV2Mini,
+                      ArchKind::kMobileViTMini, ArchKind::kSwinMini,
+                      ArchKind::kMlp));
+
+TEST(Trainer, LearnsLinearlySeparableTask) {
+  util::Rng rng(20);
+  LabeledData data;
+  data.images = Tensor({80, 3, 8, 8});
+  data.labels.resize(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    data.labels[i] = cls;
+    for (std::size_t p = 0; p < 192; ++p) {
+      data.images[i * 192 + p] =
+          static_cast<float>(0.5 + (cls == 0 ? -0.3 : 0.3) + 0.05 * rng.normal());
+    }
+  }
+  auto model = make_model(ArchKind::kMlp, ImageShape{3, 8, 8}, 2, rng);
+  TrainConfig tc;
+  tc.epochs = 10;
+  auto history = train_classifier(*model, data, tc);
+  EXPECT_LT(history.epoch_loss.back(), history.epoch_loss.front());
+  EXPECT_GT(evaluate_accuracy(*model, data), 0.95);
+}
+
+}  // namespace
+}  // namespace bprom::nn

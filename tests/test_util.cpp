@@ -1,0 +1,163 @@
+// Unit tests for bprom::util — RNG determinism and distribution sanity,
+// table rendering, thread-pool correctness, env knobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bprom::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(3);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (auto v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.split(1);
+  Rng a2(9);
+  Rng child2 = a2.split(1);
+  EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // Different salt gives a different stream.
+  Rng a3(9);
+  Rng other = a3.split(2);
+  EXPECT_NE(child.next_u64(), other.next_u64());
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", cell(1.5, 2)});
+  table.add_row({"bb", cell(std::size_t{42})});
+  const std::string s = table.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  // Header separator lines present.
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Table, CellPrecision) {
+  EXPECT_EQ(cell(0.12345, 3), "0.123");
+  EXPECT_EQ(cell(1.0, 1), "1.0");
+  EXPECT_EQ(cell(7), "7");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  EXPECT_THROW(
+      parallel_for(8,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Env, ScaleDefaultsToNormal) {
+  // Unless BPROM_SCALE is exported by the environment, default applies.
+  if (std::getenv("BPROM_SCALE") == nullptr) {
+    EXPECT_EQ(scale(), Scale::kDefault);
+    EXPECT_EQ(by_scale(1, 2, 3), 2);
+  }
+}
+
+TEST(Env, EnvSizeFallback) {
+  EXPECT_EQ(env_size("BPROM_DEFINITELY_UNSET_VAR", 77u), 77u);
+}
+
+}  // namespace
+}  // namespace bprom::util
