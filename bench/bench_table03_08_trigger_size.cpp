@@ -15,7 +15,14 @@ int main() {
                               "AdapBlend acc", "AdapBlend ASR", "AdapBlend AUROC"});
     auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
     for (auto s : sizes) {
-      std::vector<std::string> row = {"(" + std::to_string(s) + "x" + std::to_string(s) + ")"};
+      // Built with += to dodge gcc-12's -Wrestrict false positive (PR105651)
+      // on `literal + std::string&&` chains under -O2.
+      std::string label = "(";
+      label += std::to_string(s);
+      label += "x";
+      label += std::to_string(s);
+      label += ")";
+      std::vector<std::string> row = {label};
       for (auto kind : {attacks::AttackKind::kBlend, attacks::AttackKind::kAdapBlend}) {
         auto atk = attacks::AttackConfig::defaults(kind);
         atk.trigger_size = s;

@@ -115,15 +115,16 @@ inline defenses::DefenseEval baseline_cell(defenses::DefenseKind kind,
                                            source.profile.classes, rng);
     }
     case defenses::DefenseRegime::kModelLevel: {
-      // MM-BD: score a small model population.
+      // MM-BD: score a small model population, cohort-parallel.
       auto population = core::build_population(
           source, atk, arch, scale.population_per_side, seed, scale);
-      std::vector<double> scores;
+      std::vector<nn::Model*> cohort;
       std::vector<int> labels;
       for (auto& m : population) {
-        scores.push_back(defenses::mmbd_model_score(*m.model));
+        cohort.push_back(m.model.get());
         labels.push_back(m.backdoored ? 1 : 0);
       }
+      std::vector<double> scores = defenses::mmbd_cohort_scores(cohort);
       defenses::DefenseEval eval;
       eval.auroc = metrics::auroc(scores, labels);
       eval.f1 = metrics::best_f1(scores, labels);

@@ -145,16 +145,27 @@ void BpromDetector::fit(const nn::LabeledData& reserved_clean,
 
   const std::size_t total =
       config_.clean_shadows + config_.backdoor_shadows;
-  std::vector<std::vector<float>> features;
-  std::vector<int> labels;
-  features.reserve(total);
-  labels.reserve(total);
+  std::vector<std::vector<float>> features(total);
+  std::vector<int> labels(total);
+  std::vector<double> shadow_acc(total, 0.0);
 
-  for (std::size_t i = 0; i < total; ++i) {
+  // Per-shadow Rng streams are split off sequentially on this thread so the
+  // draw order — and therefore every trained shadow — is identical no matter
+  // how many pool threads execute the loop below.
+  std::vector<util::Rng> streams;
+  streams.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) streams.push_back(rng.split(i + 1));
+
+  // Shadow generation + prompt learning is embarrassingly parallel: each
+  // task owns its model, its Rng stream, and its output slots.
+  util::parallel_for(total, [&](std::size_t i) {
     const bool is_backdoor = i >= config_.clean_shadows;
-    util::Rng model_rng = rng.split(i + 1);
+    util::Rng model_rng = streams[i];
 
-    nn::LabeledData train_set = reserved_clean;
+    // Clean shadows train on the shared set directly — copying it per task
+    // would scale transient memory with the thread count.
+    nn::LabeledData poisoned_set;
+    const nn::LabeledData* train_set = &reserved_clean;
     if (is_backdoor) {
       // Sample a fresh trigger combination (m, t, alpha, y_t) per shadow.
       attacks::AttackConfig atk =
@@ -163,14 +174,15 @@ void BpromDetector::fit(const nn::LabeledData& reserved_clean,
       atk.target_class =
           static_cast<int>(model_rng.uniform_index(source_classes_));
       atk.seed = model_rng.next_u64();
-      train_set = attacks::poison_dataset(reserved_clean, atk, model_rng).data;
+      poisoned_set = attacks::poison_dataset(reserved_clean, atk, model_rng).data;
+      train_set = &poisoned_set;
     }
 
     auto shadow = nn::make_model(config_.shadow_arch, shape, source_classes_,
                                  model_rng);
     nn::TrainConfig tc = config_.shadow_train;
     tc.seed = model_rng.next_u64();
-    nn::train_classifier(*shadow, train_set, tc);
+    nn::train_classifier(*shadow, *train_set, tc);
 
     nn::BlackBoxAdapter adapter(*shadow);
     const std::size_t ensemble = std::max<std::size_t>(1, config_.prompt_ensemble);
@@ -204,16 +216,21 @@ void BpromDetector::fit(const nn::LabeledData& reserved_clean,
     }
     for (auto& v : mean_feature) v /= static_cast<float>(ensemble);
     acc /= static_cast<double>(ensemble);
-    if (is_backdoor) {
-      diag_.backdoor_shadow_prompted_accuracy.push_back(acc);
-    } else {
-      diag_.clean_shadow_prompted_accuracy.push_back(acc);
-    }
-
-    features.push_back(std::move(mean_feature));
-    labels.push_back(is_backdoor ? 1 : 0);
+    shadow_acc[i] = acc;
+    features[i] = std::move(mean_feature);
+    labels[i] = is_backdoor ? 1 : 0;
     util::log_debug() << "shadow " << i << (is_backdoor ? " (backdoor)" : " (clean)")
                       << " prompted acc " << acc;
+  }, config_.pool);
+
+  // Collected after the join so diagnostics keep the serial ordering (clean
+  // shadows first, ascending index) regardless of completion order.
+  for (std::size_t i = 0; i < total; ++i) {
+    if (i >= config_.clean_shadows) {
+      diag_.backdoor_shadow_prompted_accuracy.push_back(shadow_acc[i]);
+    } else {
+      diag_.clean_shadow_prompted_accuracy.push_back(shadow_acc[i]);
+    }
   }
 
   forest_ = meta::RandomForest(config_.forest);

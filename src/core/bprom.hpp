@@ -21,6 +21,7 @@
 #include "meta/random_forest.hpp"
 #include "nn/arch.hpp"
 #include "nn/blackbox.hpp"
+#include "util/thread_pool.hpp"
 #include "vp/train_blackbox.hpp"
 #include "vp/train_whitebox.hpp"
 
@@ -55,6 +56,13 @@ struct BpromConfig {
   /// On by default — the measured ablation (bench_ablations) favours the
   /// combined feature set; disable to use summaries only.
   bool include_query_features = true;
+  /// Pool used to train/prompt the shadow population in parallel; nullptr
+  /// selects the process-wide pool (BPROM_THREADS).  Results are identical
+  /// for any thread count: each shadow draws from an Rng stream pre-split
+  /// from the root seed on the calling thread.  A non-null pool is borrowed,
+  /// not owned — it must outlive every detector constructed from this
+  /// config (fit() dereferences it; inspection does not).
+  util::ThreadPool* pool = nullptr;
   /// Sort each query's confidence vector descending before concatenation.
   /// Makes the meta features invariant to which class the attacker targets
   /// (the paper compensates with many more trees/shadows; see DESIGN.md §2).

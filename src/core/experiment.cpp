@@ -95,24 +95,26 @@ TrainedSuspicious train_backdoored_model(const data::Dataset& dataset,
 std::vector<TrainedSuspicious> build_population(
     const data::Dataset& dataset, const attacks::AttackConfig& attack,
     nn::ArchKind arch, std::size_t per_side, std::uint64_t seed,
-    const ExperimentScale& scale) {
-  std::vector<TrainedSuspicious> population;
-  population.reserve(2 * per_side);
-  for (std::size_t i = 0; i < per_side; ++i) {
-    population.push_back(
-        train_clean_model(dataset, arch, seed * 1000 + i, scale));
-  }
-  for (std::size_t i = 0; i < per_side; ++i) {
+    const ExperimentScale& scale, util::ThreadPool* pool) {
+  // Every model draws from a seed derived only from its index, so training
+  // the population in parallel reproduces the serial result bit-for-bit.
+  std::vector<TrainedSuspicious> population(2 * per_side);
+  util::parallel_for(2 * per_side, [&](std::size_t i) {
+    if (i < per_side) {
+      population[i] = train_clean_model(dataset, arch, seed * 1000 + i, scale);
+      return;
+    }
+    const std::size_t j = i - per_side;
     attacks::AttackConfig atk = attack;
     // Vary target class and trigger seed across the population, as the
     // paper's suspicious models do.
-    util::Rng vary(seed * 2000 + i);
+    util::Rng vary(seed * 2000 + j);
     atk.target_class =
         static_cast<int>(vary.uniform_index(dataset.profile.classes));
     atk.seed = vary.next_u64();
-    population.push_back(train_backdoored_model(
-        dataset, atk, arch, seed * 3000 + i, scale));
-  }
+    population[i] =
+        train_backdoored_model(dataset, atk, arch, seed * 3000 + j, scale);
+  }, pool);
   return population;
 }
 
@@ -138,7 +140,8 @@ BpromConfig default_bprom_config(const ExperimentScale& scale,
 BpromDetector fit_detector(const data::Dataset& source,
                            const data::Dataset& target,
                            double reserved_fraction, nn::ArchKind shadow_arch,
-                           std::uint64_t seed, const ExperimentScale& scale) {
+                           std::uint64_t seed, const ExperimentScale& scale,
+                           util::ThreadPool* pool) {
   util::Rng rng(seed ^ 0xDE7EC7ULL);
   nn::LabeledData reserved =
       data::sample_fraction(source.test, reserved_fraction, rng);
@@ -150,22 +153,25 @@ BpromDetector fit_detector(const data::Dataset& source,
       target.train,
       rng.sample_without_replacement(target.train.size(), prompt_n));
 
-  BpromDetector detector(default_bprom_config(scale, shadow_arch, seed));
+  BpromConfig cfg = default_bprom_config(scale, shadow_arch, seed);
+  cfg.pool = pool;
+  BpromDetector detector(cfg);
   detector.fit(reserved, source.profile.classes, dt_train, target.test);
   return detector;
 }
 
 PopulationScores score_population(
     const BpromDetector& detector,
-    const std::vector<TrainedSuspicious>& population) {
+    const std::vector<TrainedSuspicious>& population,
+    util::ThreadPool* pool) {
   PopulationScores out;
-  out.scores.reserve(population.size());
-  out.labels.reserve(population.size());
-  for (const auto& suspicious : population) {
-    nn::BlackBoxAdapter adapter(*suspicious.model);
-    out.scores.push_back(detector.score(adapter));
-    out.labels.push_back(suspicious.backdoored ? 1 : 0);
-  }
+  out.scores.resize(population.size());
+  out.labels.resize(population.size());
+  util::parallel_for(population.size(), [&](std::size_t i) {
+    nn::BlackBoxAdapter adapter(*population[i].model);
+    out.scores[i] = detector.score(adapter);
+    out.labels[i] = population[i].backdoored ? 1 : 0;
+  }, pool);
   return out;
 }
 

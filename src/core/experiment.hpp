@@ -48,11 +48,13 @@ TrainedSuspicious train_backdoored_model(const data::Dataset& dataset,
                                          nn::ArchKind arch, std::uint64_t seed,
                                          const ExperimentScale& scale);
 
-/// Population of `per_side` clean + `per_side` backdoored models.
+/// Population of `per_side` clean + `per_side` backdoored models, trained in
+/// parallel on `pool` (nullptr = global pool).  Every model derives from its
+/// own seed, so the population is identical for any thread count.
 std::vector<TrainedSuspicious> build_population(
     const data::Dataset& dataset, const attacks::AttackConfig& attack,
     nn::ArchKind arch, std::size_t per_side, std::uint64_t seed,
-    const ExperimentScale& scale);
+    const ExperimentScale& scale, util::ThreadPool* pool = nullptr);
 
 /// Scale-tuned BPROM configuration for a given source dataset.
 BpromConfig default_bprom_config(const ExperimentScale& scale,
@@ -61,10 +63,13 @@ BpromConfig default_bprom_config(const ExperimentScale& scale,
 
 /// Fit a detector for `source` using `target` as D_T, with D_S equal to
 /// `reserved_fraction` of the source test set (the paper's 1/5/10 %).
+/// A non-null `pool` is stored in the returned detector's config and must
+/// outlive the detector if fit() is ever called on it again.
 BpromDetector fit_detector(const data::Dataset& source,
                            const data::Dataset& target,
                            double reserved_fraction, nn::ArchKind shadow_arch,
-                           std::uint64_t seed, const ExperimentScale& scale);
+                           std::uint64_t seed, const ExperimentScale& scale,
+                           util::ThreadPool* pool = nullptr);
 
 struct PopulationScores {
   std::vector<double> scores;
@@ -76,9 +81,11 @@ struct PopulationScores {
   [[nodiscard]] double f1() const { return metrics::best_f1(scores, labels); }
 };
 
-/// Run the detector on every model of a population.
+/// Run the detector on every model of a population.  The suspicious cohort
+/// is inspected in parallel — each task queries only its own model.
 PopulationScores score_population(
     const BpromDetector& detector,
-    const std::vector<TrainedSuspicious>& population);
+    const std::vector<TrainedSuspicious>& population,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace bprom::core

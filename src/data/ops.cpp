@@ -36,7 +36,7 @@ LabeledData sample_fraction(const LabeledData& data, double fraction,
 LabeledData concat(const LabeledData& a, const LabeledData& b) {
   if (a.size() == 0) return b;
   if (b.size() == 0) return a;
-  const std::size_t sample = a.images.size() / a.size();
+  [[maybe_unused]] const std::size_t sample = a.images.size() / a.size();
   assert(sample == b.images.size() / b.size());
   std::vector<std::size_t> shape = a.images.shape();
   shape[0] = a.size() + b.size();

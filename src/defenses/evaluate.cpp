@@ -164,4 +164,13 @@ double mmbd_population_score(nn::Model& model) {
   return mmbd_model_score(model);
 }
 
+std::vector<double> mmbd_cohort_scores(const std::vector<nn::Model*>& cohort,
+                                       util::ThreadPool* pool) {
+  std::vector<double> scores(cohort.size(), 0.0);
+  util::parallel_for(cohort.size(), [&](std::size_t i) {
+    scores[i] = mmbd_model_score(*cohort[i]);
+  }, pool);
+  return scores;
+}
+
 }  // namespace bprom::defenses

@@ -3,7 +3,17 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace bprom::linalg {
+namespace {
+
+// Below this many multiply-adds the pool dispatch overhead dominates; the
+// serial loop wins.  Output rows are disjoint per task and each row is
+// accumulated in the serial order, so the parallel product is bit-identical.
+constexpr std::size_t kParallelGemmFlops = std::size_t{1} << 21;
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -29,7 +39,7 @@ Matrix Matrix::transpose() const {
 Matrix Matrix::multiply(const Matrix& rhs) const {
   assert(cols_ == rhs.rows_);
   Matrix out(rows_, rhs.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
+  const auto row_product = [&](std::size_t i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(i, k);
       if (a == 0.0) continue;
@@ -37,6 +47,11 @@ Matrix Matrix::multiply(const Matrix& rhs) const {
       double* orow = &out.data_[i * rhs.cols_];
       for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
     }
+  };
+  if (rows_ > 1 && rows_ * cols_ * rhs.cols_ >= kParallelGemmFlops) {
+    util::parallel_for(rows_, row_product);
+  } else {
+    for (std::size_t i = 0; i < rows_; ++i) row_product(i);
   }
   return out;
 }

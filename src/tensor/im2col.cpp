@@ -2,7 +2,17 @@
 
 #include <cassert>
 
+#include "util/thread_pool.hpp"
+
 namespace bprom::tensor {
+namespace {
+
+// Minimum total element count before the batch loop is worth sharding over
+// the pool; per-sample blocks are contiguous and disjoint, so the parallel
+// result is bit-identical to the serial one.
+constexpr std::size_t kParallelElems = std::size_t{1} << 20;
+
+}  // namespace
 
 Tensor im2col(const Tensor& input, const ConvGeometry& g) {
   assert(input.rank() == 4);
@@ -12,8 +22,9 @@ Tensor im2col(const Tensor& input, const ConvGeometry& g) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   Tensor cols({n * oh * ow, g.patch_size()});
-  float* out = cols.data();
-  for (std::size_t b = 0; b < n; ++b) {
+  const std::size_t sample_elems = oh * ow * g.patch_size();
+  const auto fill_sample = [&](std::size_t b) {
+    float* out = cols.data() + b * sample_elems;
     for (std::size_t y = 0; y < oh; ++y) {
       for (std::size_t x = 0; x < ow; ++x) {
         for (std::size_t c = 0; c < g.in_c; ++c) {
@@ -35,6 +46,11 @@ Tensor im2col(const Tensor& input, const ConvGeometry& g) {
         }
       }
     }
+  };
+  if (n > 1 && n * sample_elems >= kParallelElems) {
+    util::parallel_for(n, fill_sample);
+  } else {
+    for (std::size_t b = 0; b < n; ++b) fill_sample(b);
   }
   return cols;
 }
@@ -44,8 +60,9 @@ Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {
   const std::size_t ow = g.out_w();
   assert(cols.dim(0) == batch * oh * ow && cols.dim(1) == g.patch_size());
   Tensor img({batch, g.in_c, g.in_h, g.in_w});
-  const float* in = cols.data();
-  for (std::size_t b = 0; b < batch; ++b) {
+  const std::size_t sample_elems = oh * ow * g.patch_size();
+  const auto scatter_sample = [&](std::size_t b) {
+    const float* in = cols.data() + b * sample_elems;
     for (std::size_t y = 0; y < oh; ++y) {
       for (std::size_t x = 0; x < ow; ++x) {
         for (std::size_t c = 0; c < g.in_c; ++c) {
@@ -66,6 +83,11 @@ Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {
         }
       }
     }
+  };
+  if (batch > 1 && batch * sample_elems >= kParallelElems) {
+    util::parallel_for(batch, scatter_sample);
+  } else {
+    for (std::size_t b = 0; b < batch; ++b) scatter_sample(b);
   }
   return img;
 }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "util/env.hpp"
 
 namespace bprom::util {
 
@@ -49,28 +53,81 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
   if (n == 0) return;
   ThreadPool* p = pool != nullptr ? pool : &global_pool();
+
   std::atomic<std::size_t> next{0};
-  const std::size_t shards = std::min(n, p->size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    futures.push_back(p->submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
+  std::atomic<bool> failed{false};
+  const auto run_shard = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
         body(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;
       }
-    }));
+    }
+  };
+
+  // The caller claims indices too, so even if every helper stays stuck in
+  // the queue (e.g. all workers blocked in nested parallel_for waits) the
+  // loop always completes.  Caller + helpers never exceed the pool size, so
+  // a 1-thread pool really is a serial inline loop.
+  const std::size_t helpers = std::min(n - 1, p->size() - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t s = 0; s < helpers; ++s) futures.push_back(p->submit(run_shard));
+
+  std::exception_ptr error;
+  try {
+    run_shard();
+  } catch (...) {
+    error = std::current_exception();
   }
-  for (auto& f : futures) f.get();
+
+  for (auto& f : futures) {
+    // While a helper is still queued, drain queued tasks on this thread
+    // instead of blocking — a worker running a nested parallel_for may be
+    // waiting for exactly one of them.  Once the queue is empty every
+    // submitted helper is running (or done) on some thread, so a blocking
+    // get() terminates.
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready &&
+           p->try_run_one()) {
+    }
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  // Values that cannot be meant literally (e.g. BPROM_THREADS=-1 wrapping to
+  // 2^64-1 through strtoull) fall back to hardware concurrency instead of
+  // exhausting the process with thread spawns.
+  static ThreadPool pool([] {
+    const std::size_t requested = env_size("BPROM_THREADS", 0);
+    return requested <= 1024 ? requested : std::size_t{0};
+  }());
   return pool;
 }
 

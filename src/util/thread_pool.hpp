@@ -28,6 +28,11 @@ class ThreadPool {
   /// Enqueue a task; the future reports completion / exception.
   std::future<void> submit(std::function<void()> task);
 
+  /// Pop and run one queued task on the calling thread.  Returns false when
+  /// the queue is empty.  Lets blocked waiters help drain the queue, which
+  /// makes nested parallel_for calls from worker threads deadlock-free.
+  bool try_run_one();
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
@@ -40,12 +45,19 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run body(i) for i in [0, n) across the given pool (or a transient pool if
-/// pool == nullptr).  Rethrows the first exception encountered.
+/// Run body(i) for i in [0, n) across the given pool (defaults to the global
+/// pool).  The calling thread participates in the work, so nested calls from
+/// pool workers cannot deadlock, and a 1-thread pool degrades to a serial
+/// loop.  Each index is executed exactly once with disjoint outputs left to
+/// the body, so results are independent of thread count whenever the body is
+/// deterministic per index.  Rethrows the first exception encountered; once a
+/// body throws, remaining indices are abandoned.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool = nullptr);
 
-/// Process-wide default pool (lazily constructed).
+/// Process-wide default pool (lazily constructed).  Sized by the
+/// BPROM_THREADS environment variable; unset or 0 means
+/// hardware_concurrency.
 ThreadPool& global_pool();
 
 }  // namespace bprom::util

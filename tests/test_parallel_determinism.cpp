@@ -1,0 +1,87 @@
+// Determinism regression for the parallel shadow pipeline: the same root
+// seed must yield bit-identical detectors, diagnostics, and population
+// scores no matter how many pool threads execute the work.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bprom {
+namespace {
+
+core::ExperimentScale micro_scale() {
+  core::ExperimentScale s;
+  s.suspicious_train = 120;
+  s.suspicious_epochs = 2;
+  s.population_per_side = 2;
+  s.shadows_per_side = 2;
+  s.shadow_epochs = 2;
+  s.prompt_epochs = 1;
+  s.blackbox_evals = 40;
+  s.query_samples = 4;
+  s.forest_trees = 20;
+  return s;
+}
+
+TEST(ParallelDeterminism, FitDetectorDiagnosticsMatchAcrossThreadCounts) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 11, 500, 200);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 12, 400, 200);
+  const auto scale = micro_scale();
+
+  util::ThreadPool one(1);
+  util::ThreadPool four(4);
+  auto serial = core::fit_detector(src, tgt, 0.10, nn::ArchKind::kResNet18Mini,
+                                   7, scale, &one);
+  auto parallel = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale,
+                                     &four);
+
+  const auto& a = serial.diagnostics();
+  const auto& b = parallel.diagnostics();
+  EXPECT_EQ(a.meta_labels, b.meta_labels);
+  EXPECT_EQ(a.clean_shadow_prompted_accuracy, b.clean_shadow_prompted_accuracy);
+  EXPECT_EQ(a.backdoor_shadow_prompted_accuracy,
+            b.backdoor_shadow_prompted_accuracy);
+  ASSERT_EQ(a.meta_features.size(), b.meta_features.size());
+  for (std::size_t i = 0; i < a.meta_features.size(); ++i) {
+    EXPECT_EQ(a.meta_features[i], b.meta_features[i]) << "shadow " << i;
+  }
+}
+
+TEST(ParallelDeterminism, PopulationAndScoresMatchAcrossThreadCounts) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 13, 500, 200);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 14, 400, 200);
+  const auto scale = micro_scale();
+  const auto atk = attacks::AttackConfig::defaults(attacks::AttackKind::kBadNets);
+
+  util::ThreadPool one(1);
+  util::ThreadPool four(4);
+  auto detector = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale,
+                                     &one);
+
+  auto pop_serial = core::build_population(src, atk,
+                                           nn::ArchKind::kResNet18Mini, 2, 40,
+                                           scale, &one);
+  auto pop_parallel = core::build_population(src, atk,
+                                             nn::ArchKind::kResNet18Mini, 2,
+                                             40, scale, &four);
+  ASSERT_EQ(pop_serial.size(), pop_parallel.size());
+  for (std::size_t i = 0; i < pop_serial.size(); ++i) {
+    EXPECT_EQ(pop_serial[i].backdoored, pop_parallel[i].backdoored);
+    EXPECT_DOUBLE_EQ(pop_serial[i].clean_accuracy,
+                     pop_parallel[i].clean_accuracy);
+    EXPECT_DOUBLE_EQ(pop_serial[i].asr, pop_parallel[i].asr);
+  }
+
+  auto scores_serial = core::score_population(detector, pop_serial, &one);
+  auto scores_parallel = core::score_population(detector, pop_parallel, &four);
+  EXPECT_EQ(scores_serial.labels, scores_parallel.labels);
+  ASSERT_EQ(scores_serial.scores.size(), scores_parallel.scores.size());
+  for (std::size_t i = 0; i < scores_serial.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores_serial.scores[i], scores_parallel.scores[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bprom

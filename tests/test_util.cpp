@@ -147,6 +147,87 @@ TEST(ThreadPool, ParallelForPropagatesException) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ZeroThreadConstructionFallsBackToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); }).get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForExceptionOnExplicitPoolLeavesPoolUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   16,
+                   [](std::size_t i) {
+                     if (i % 2 == 0) throw std::runtime_error("even");
+                   },
+                   &pool),
+               std::runtime_error);
+  // The pool must survive a throwing loop and keep serving work.
+  std::atomic<int> counter{0};
+  parallel_for(8, [&](std::size_t) { counter.fetch_add(1); }, &pool);
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+        auto inner = pool.submit([&] { counter.fetch_add(1); });
+        inner.get();
+        counter.fetch_add(1);
+      })
+      .get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleThreadPoolDoesNotDeadlock) {
+  // Regression: a worker running parallel_for used to block forever waiting
+  // for helper tasks no free worker could ever pick up.  The caller now
+  // participates and drains the queue, so this completes even with one
+  // worker thread.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  parallel_for(
+      4,
+      [&](std::size_t) {
+        parallel_for(4, [&](std::size_t) { counter.fetch_add(1); }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForOnSmallPoolDoesNotDeadlock) {
+  // With two workers the outer loop parks helper tasks in the queue while a
+  // worker's nested loop waits on its own helpers — the queue-drain path in
+  // parallel_for must keep everything moving.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(8, [&](std::size_t) { counter.fetch_add(1); }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfThreadCount) {
+  ThreadPool one(1);
+  ThreadPool four(4);
+  std::vector<std::uint64_t> a(32), b(32);
+  const auto work = [](std::vector<std::uint64_t>& out) {
+    return [&out](std::size_t i) {
+      Rng rng(1000 + i);
+      out[i] = rng.next_u64();
+    };
+  };
+  parallel_for(32, work(a), &one);
+  parallel_for(32, work(b), &four);
+  EXPECT_EQ(a, b);
+}
+
 TEST(Env, ScaleDefaultsToNormal) {
   // Unless BPROM_SCALE is exported by the environment, default applies.
   if (std::getenv("BPROM_SCALE") == nullptr) {
