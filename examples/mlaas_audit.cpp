@@ -4,6 +4,11 @@
 // a mix of attacks).  The auditor screens every model with BPROM first
 // (model-level, front-line), then applies the input-level STRIP detector
 // only to flagged models — the deployment order §1 argues for.
+//
+// This example refits the detector in-process every run.  For the
+// long-lived deployment — fit once, persist, and serve batched audits
+// across process restarts — see examples/serve_audit.cpp, which drives the
+// same marketplace through serve::DetectorStore + serve::AuditService.
 #include <cstdio>
 #include "core/experiment.hpp"
 #include "defenses/evaluate.hpp"

@@ -1,0 +1,122 @@
+// Persistence + serving walkthrough: fit once, audit many, survive restarts.
+//
+// The paper's §1 marketplace scenario as a long-lived service:
+//   1. fit a BPROM detector (the expensive shadow-population step),
+//   2. audit the marketplace in memory through serve::AuditService,
+//   3. persist the detector AND every listed model to .bprom containers,
+//   4. simulate a fresh process: reload everything through a new
+//      serve::DetectorStore and audit again,
+//   5. diff the two verdict sets — any drift is a format regression, and
+//      the process exits nonzero so CI fails.
+// Timing columns are wall-clock and excluded from the comparison.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "io/serialize.hpp"
+#include "serve/audit_service.hpp"
+#include "serve/detector_store.hpp"
+
+int main() {
+  using namespace bprom;
+  const auto scale = core::ExperimentScale::current();
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 1);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 2);
+
+  std::printf("== serve_audit: fit -> save -> reload -> batch audit ==\n");
+
+  // The marketplace: clean listings plus an assortment of attacks.
+  struct Listing {
+    core::TrainedSuspicious model;
+    std::string description;
+  };
+  std::vector<Listing> marketplace;
+  std::size_t id = 0;
+  for (int i = 0; i < 2; ++i) {
+    marketplace.push_back({core::train_clean_model(
+                               src, nn::ArchKind::kResNet18Mini, 800 + id++,
+                               scale),
+                           "vendor upload (clean)"});
+  }
+  for (auto kind : {attacks::AttackKind::kBadNets, attacks::AttackKind::kWaNet,
+                    attacks::AttackKind::kAdapBlend}) {
+    auto atk = attacks::AttackConfig::defaults(kind, static_cast<int>(id % 10));
+    marketplace.push_back({core::train_backdoored_model(
+                               src, atk, nn::ArchKind::kResNet18Mini,
+                               900 + id++, scale),
+                           "vendor upload (" + attacks::attack_name(kind) + ")"});
+  }
+
+  std::printf("fitting detector (%zu+%zu shadows)...\n",
+              scale.shadows_per_side, scale.shadows_per_side);
+  auto detector = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale);
+
+  const std::string store_dir =
+      (std::filesystem::temp_directory_path() / "bprom_serve_audit").string();
+
+  // --- Audit pass 1: the freshly fitted, in-memory detector. ------------
+  std::vector<nn::BlackBoxAdapter> live_boxes;
+  live_boxes.reserve(marketplace.size());
+  for (auto& listing : marketplace) live_boxes.emplace_back(*listing.model.model);
+  std::vector<serve::AuditRequest> requests;
+  for (std::size_t i = 0; i < marketplace.size(); ++i) {
+    requests.push_back({"listing-" + std::to_string(i), &live_boxes[i]});
+  }
+
+  serve::DetectorStore store(store_dir);
+  auto live_handle = store.put("marketplace", std::move(detector));
+  serve::AuditService live_service(live_handle);
+  auto live = live_service.audit(requests);
+
+  // --- Persist the marketplace models themselves. -----------------------
+  for (std::size_t i = 0; i < marketplace.size(); ++i) {
+    io::save_model_file(store_dir + "/listing-" + std::to_string(i) + ".model",
+                        *marketplace[i].model.model);
+  }
+
+  // --- "Fresh process": reload detector + models, audit pass 2. ---------
+  serve::DetectorStore fresh_store(store_dir);
+  std::vector<std::unique_ptr<nn::BlackBoxModel>> loaded_boxes;
+  std::vector<serve::AuditRequest> reload_requests;
+  for (std::size_t i = 0; i < marketplace.size(); ++i) {
+    auto model = io::load_model_file(store_dir + "/listing-" +
+                                     std::to_string(i) + ".model");
+    loaded_boxes.push_back(
+        std::make_unique<nn::BlackBoxAdapter>(std::move(model)));
+    reload_requests.push_back(
+        {"listing-" + std::to_string(i), loaded_boxes.back().get()});
+  }
+  serve::AuditService fresh_service(fresh_store, "marketplace");
+  auto reloaded = fresh_service.audit(reload_requests);
+
+  // --- Diff the verdicts. ----------------------------------------------
+  std::printf("\n%-12s %-28s %-10s %-10s %-8s %-7s %s\n", "id", "listing",
+              "live", "reloaded", "verdict", "match", "time");
+  bool all_match = true;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const bool match = live[i].ok && reloaded[i].ok &&
+                       live[i].verdict.score == reloaded[i].verdict.score &&
+                       live[i].verdict.prompted_accuracy ==
+                           reloaded[i].verdict.prompted_accuracy &&
+                       live[i].verdict.backdoored == reloaded[i].verdict.backdoored;
+    all_match = all_match && match;
+    std::printf("%-12s %-28s %-10.6f %-10.6f %-8s %-7s %.1fms\n",
+                live[i].model_id.c_str(), marketplace[i].description.c_str(),
+                live[i].verdict.score, reloaded[i].verdict.score,
+                reloaded[i].verdict.backdoored ? "BACKDOOR" : "clean",
+                match ? "yes" : "NO", reloaded[i].seconds * 1e3);
+  }
+  std::printf("\nstore %s holds: ", store_dir.c_str());
+  for (const auto& name : fresh_store.list()) std::printf("%s ", name.c_str());
+  std::printf("\nGround truth: listings 0-1 clean; 2-4 backdoored.\n");
+  if (!all_match) {
+    std::printf("FAIL: reloaded verdicts differ from the in-memory run\n");
+    return 1;
+  }
+  std::printf("OK: fit->save->reload->inspect verdicts are bit-identical\n");
+  return 0;
+}

@@ -240,40 +240,75 @@ void BpromDetector::fit(const nn::LabeledData& reserved_clean,
   fitted_ = true;
 }
 
-Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious) const {
+Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
+                               std::uint64_t seed_salt) const {
   assert(fitted_);
   assert(suspicious.num_classes() == source_classes_);
   const std::size_t queries_before = suspicious.query_count();
 
   // Black-box prompt learning (CMA-ES) — the only access to the suspicious
   // model is confidence-vector queries.  An ensemble of independently
-  // seeded prompts suppresses prompt-optimization noise.
+  // seeded prompts suppresses prompt-optimization noise.  Each ensemble
+  // member depends only on its index, so members run on per-thread model
+  // replicas when the black box supports replicate(); the replicas are
+  // exact deep copies, making the parallel result bit-identical to the
+  // serial one for any thread count.
   Verdict verdict;
   const std::size_t ensemble = std::max<std::size_t>(1, config_.prompt_ensemble);
-  std::vector<float> mean_feature;
-  for (std::size_t r = 0; r < ensemble; ++r) {
-    vp::BlackBoxPromptConfig pc = config_.prompt_blackbox;
-    pc.seed = config_.prompt_blackbox.seed + 7919 * (r + 1);
-    auto bb = vp::learn_prompt_blackbox(suspicious, target_train_, pc);
+  std::vector<std::vector<float>> features(ensemble);
+  std::vector<double> accuracies(ensemble, 0.0);
 
-    auto feature = meta_feature_vector(suspicious, bb.prompt);
-    if (mean_feature.empty()) {
-      mean_feature = std::move(feature);
-    } else {
-      for (std::size_t j = 0; j < mean_feature.size(); ++j) {
-        mean_feature[j] += feature[j];
-      }
-    }
-    vp::PromptedModel prompted(suspicious, bb.prompt);
+  const auto run_member = [&](std::size_t r, const nn::BlackBoxModel& box) {
+    vp::BlackBoxPromptConfig pc = config_.prompt_blackbox;
+    pc.seed = config_.prompt_blackbox.seed + seed_salt + 7919 * (r + 1);
+    auto bb = vp::learn_prompt_blackbox(box, target_train_, pc);
+
+    features[r] = meta_feature_vector(box, bb.prompt);
+    vp::PromptedModel prompted(box, bb.prompt);
     prompted.set_label_mapping(vp::fit_frequency_label_mapping(
         prompted, target_train_, target_classes_));
-    verdict.prompted_accuracy += prompted.accuracy(target_test_);
+    accuracies[r] = prompted.accuracy(target_test_);
+  };
+
+  std::vector<std::unique_ptr<nn::BlackBoxModel>> replicas;
+  if (ensemble > 1) {
+    replicas.reserve(ensemble);
+    for (std::size_t r = 0; r < ensemble; ++r) {
+      auto replica = suspicious.replicate();
+      if (!replica) {
+        replicas.clear();
+        break;
+      }
+      replicas.push_back(std::move(replica));
+    }
+  }
+
+  if (!replicas.empty()) {
+    util::parallel_for(ensemble,
+                       [&](std::size_t r) { run_member(r, *replicas[r]); },
+                       config_.pool);
+  } else {
+    // One model instance is single-threaded (forward passes cache
+    // activations), so a non-replicable black box runs the ensemble
+    // serially — same per-member work, same results.
+    for (std::size_t r = 0; r < ensemble; ++r) run_member(r, suspicious);
+  }
+
+  // Reduce in ascending member order so the float accumulation matches the
+  // serial loop exactly.
+  std::vector<float> mean_feature = std::move(features[0]);
+  for (std::size_t r = 1; r < ensemble; ++r) {
+    for (std::size_t j = 0; j < mean_feature.size(); ++j) {
+      mean_feature[j] += features[r][j];
+    }
   }
   for (auto& v : mean_feature) v /= static_cast<float>(ensemble);
+  for (double acc : accuracies) verdict.prompted_accuracy += acc;
   verdict.prompted_accuracy /= static_cast<double>(ensemble);
   verdict.score = forest_.predict_proba(mean_feature);
   verdict.backdoored = verdict.score >= 0.5;
   verdict.queries = suspicious.query_count() - queries_before;
+  for (const auto& replica : replicas) verdict.queries += replica->query_count();
   return verdict;
 }
 

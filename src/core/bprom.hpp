@@ -25,6 +25,11 @@
 #include "vp/train_blackbox.hpp"
 #include "vp/train_whitebox.hpp"
 
+namespace bprom::io {
+class Writer;
+class Reader;
+}  // namespace bprom::io
+
 namespace bprom::core {
 
 struct BpromConfig {
@@ -56,12 +61,14 @@ struct BpromConfig {
   /// On by default — the measured ablation (bench_ablations) favours the
   /// combined feature set; disable to use summaries only.
   bool include_query_features = true;
-  /// Pool used to train/prompt the shadow population in parallel; nullptr
+  /// Pool used to train/prompt the shadow population in parallel and to run
+  /// the inspection prompt ensemble on per-thread model replicas; nullptr
   /// selects the process-wide pool (BPROM_THREADS).  Results are identical
   /// for any thread count: each shadow draws from an Rng stream pre-split
-  /// from the root seed on the calling thread.  A non-null pool is borrowed,
-  /// not owned — it must outlive every detector constructed from this
-  /// config (fit() dereferences it; inspection does not).
+  /// from the root seed on the calling thread, and each ensemble member is
+  /// seeded by its index.  A non-null pool is borrowed, not owned — it must
+  /// outlive every detector constructed from this config (both fit() and
+  /// inspect() dereference it).
   util::ThreadPool* pool = nullptr;
   /// Sort each query's confidence vector descending before concatenation.
   /// Makes the meta features invariant to which class the attacker targets
@@ -102,8 +109,14 @@ class BpromDetector {
            const nn::LabeledData& target_train,
            const nn::LabeledData& target_test);
 
-  /// Inspect a suspicious model through black-box queries only.
-  [[nodiscard]] Verdict inspect(const nn::BlackBoxModel& suspicious) const;
+  /// Inspect a suspicious model through black-box queries only.  The prompt
+  /// ensemble runs in parallel on replicas when the model supports
+  /// replicate(); results are bit-identical to the serial path for any
+  /// thread count.  `seed_salt` offsets the ensemble prompt seeds — serving
+  /// layers pass per-request pre-split salts; 0 reproduces the historical
+  /// seeding.
+  [[nodiscard]] Verdict inspect(const nn::BlackBoxModel& suspicious,
+                                std::uint64_t seed_salt = 0) const;
 
   /// Threshold-free convenience: the raw backdoor score in [0, 1].
   [[nodiscard]] double score(const nn::BlackBoxModel& suspicious) const {
@@ -113,6 +126,16 @@ class BpromDetector {
   [[nodiscard]] const FitDiagnostics& diagnostics() const { return diag_; }
   [[nodiscard]] const BpromConfig& config() const { return config_; }
   [[nodiscard]] bool fitted() const { return fitted_; }
+  /// K_S the detector was fitted for (0 before fit()).
+  [[nodiscard]] std::size_t source_classes() const { return source_classes_; }
+
+  /// Binary persistence of the whole fitted detector: config (minus the
+  /// borrowed pool pointer), D_T splits, D_Q, forest, and diagnostics.
+  /// A loaded detector inspects with identical scores in a fresh process.
+  /// Implemented in io/serialize.cpp; save() throws io::IoError when the
+  /// detector is not fitted.
+  void save(io::Writer& writer) const;
+  static BpromDetector load(io::Reader& reader);
 
  private:
   [[nodiscard]] std::vector<float> meta_feature_vector(

@@ -1,0 +1,270 @@
+#include "io/binary.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace bprom::io {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'B', 'P', 'R', 'M'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint64_t load_le(const std::uint8_t* p, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFU] ^ (c >> 8U);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+// --------------------------------------------------------------- Writer
+
+void Writer::write_u8(std::uint8_t v) { payload_.push_back(v); }
+
+void Writer::write_u32(std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::write_u64(std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    payload_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::write_i32(std::int32_t v) {
+  write_u32(static_cast<std::uint32_t>(v));
+}
+
+void Writer::write_f32(float v) {
+  static_assert(sizeof(float) == 4);
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u32(bits);
+}
+
+void Writer::write_f64(double v) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void Writer::write_string(const std::string& s) {
+  write_u64(s.size());
+  for (char c : s) payload_.push_back(static_cast<std::uint8_t>(c));
+}
+
+void Writer::write_tag(const char (&tag)[5]) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload_.push_back(static_cast<std::uint8_t>(tag[i]));
+  }
+}
+
+void Writer::write_f32_vec(const std::vector<float>& v) {
+  write_u64(v.size());
+  for (float x : v) write_f32(x);
+}
+
+void Writer::write_i32_vec(const std::vector<int>& v) {
+  write_u64(v.size());
+  for (int x : v) write_i32(x);
+}
+
+void Writer::write_u64_vec(const std::vector<std::size_t>& v) {
+  write_u64(v.size());
+  for (std::size_t x : v) write_u64(x);
+}
+
+void Writer::write_f64_vec(const std::vector<double>& v) {
+  write_u64(v.size());
+  for (double x : v) write_f64(x);
+}
+
+std::vector<std::uint8_t> Writer::finish() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload_.size() + 20);
+  for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(kFormatVersion >> (8 * i)));
+  }
+  const std::uint64_t len = payload_.size();
+  for (std::size_t i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  const std::uint32_t crc = crc32(payload_.data(), payload_.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+void Writer::save_file(const std::string& path) const {
+  const auto bytes = finish();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw IoError("short write: " + path);
+}
+
+// --------------------------------------------------------------- Reader
+
+Reader::Reader(std::vector<std::uint8_t> bytes) {
+  if (bytes.size() < 20) throw IoError("container truncated: no header");
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) {
+    throw IoError("bad magic: not a .bprom container");
+  }
+  const auto version = static_cast<std::uint32_t>(load_le(&bytes[4], 4));
+  if (version != kFormatVersion) {
+    throw IoError("unsupported format version " + std::to_string(version) +
+                  " (expected " + std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint64_t len = load_le(&bytes[8], 8);
+  if (bytes.size() != 20 + len) {
+    throw IoError("container truncated: payload length mismatch");
+  }
+  const auto stored_crc = static_cast<std::uint32_t>(load_le(&bytes[16 + len], 4));
+  const std::uint32_t actual_crc = crc32(&bytes[16], len);
+  if (stored_crc != actual_crc) throw IoError("payload CRC mismatch");
+  payload_.assign(bytes.begin() + 16, bytes.begin() + 16 + static_cast<long>(len));
+}
+
+Reader Reader::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw IoError("short read: " + path);
+  return Reader(std::move(bytes));
+}
+
+void Reader::need(std::size_t n) const {
+  // Written as a subtraction so a huge `n` cannot wrap the comparison.
+  if (n > payload_.size() - pos_) {
+    throw IoError("payload truncated: need " + std::to_string(n) +
+                  " bytes at offset " + std::to_string(pos_));
+  }
+}
+
+std::uint8_t Reader::read_u8() {
+  need(1);
+  return payload_[pos_++];
+}
+
+std::uint32_t Reader::read_u32() {
+  need(4);
+  const auto v = static_cast<std::uint32_t>(load_le(&payload_[pos_], 4));
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::read_u64() {
+  need(8);
+  const std::uint64_t v = load_le(&payload_[pos_], 8);
+  pos_ += 8;
+  return v;
+}
+
+std::int32_t Reader::read_i32() {
+  return static_cast<std::int32_t>(read_u32());
+}
+
+float Reader::read_f32() {
+  const std::uint32_t bits = read_u32();
+  float v = 0.0F;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double Reader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::read_string() {
+  const std::uint64_t n = read_u64();
+  need(n);
+  std::string s(payload_.begin() + static_cast<long>(pos_),
+                payload_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+void Reader::expect_tag(const char (&tag)[5]) {
+  need(4);
+  if (!std::equal(tag, tag + 4, payload_.begin() + static_cast<long>(pos_))) {
+    throw IoError(std::string("chunk tag mismatch: expected '") + tag + "'");
+  }
+  pos_ += 4;
+}
+
+std::uint64_t Reader::read_count(std::size_t elem_size) {
+  const std::uint64_t n = read_u64();
+  // Guard the multiply so a corrupt length prefix cannot overflow or
+  // trigger a huge allocation before the bounds check fires.
+  if (n > remaining() / elem_size) {
+    throw IoError("payload truncated: element count " + std::to_string(n) +
+                  " exceeds remaining bytes");
+  }
+  return n;
+}
+
+std::vector<float> Reader::read_f32_vec() {
+  const std::uint64_t n = read_count(4);
+  std::vector<float> v(n);
+  for (auto& x : v) x = read_f32();
+  return v;
+}
+
+std::vector<int> Reader::read_i32_vec() {
+  const std::uint64_t n = read_count(4);
+  std::vector<int> v(n);
+  for (auto& x : v) x = read_i32();
+  return v;
+}
+
+std::vector<std::size_t> Reader::read_u64_vec() {
+  const std::uint64_t n = read_count(8);
+  std::vector<std::size_t> v(n);
+  for (auto& x : v) x = static_cast<std::size_t>(read_u64());
+  return v;
+}
+
+std::vector<double> Reader::read_f64_vec() {
+  const std::uint64_t n = read_count(8);
+  std::vector<double> v(n);
+  for (auto& x : v) x = read_f64();
+  return v;
+}
+
+}  // namespace bprom::io

@@ -1,0 +1,107 @@
+// Versioned, endian-stable binary container for trained artifacts.
+//
+// File layout (all integers little-endian regardless of host):
+//   magic   "BPRM"                       4 bytes
+//   version u32 (kFormatVersion)         4 bytes
+//   length  u64 (payload byte count)     8 bytes
+//   payload                              `length` bytes
+//   crc32   u32 over the payload         4 bytes
+//
+// The payload is a stream of typed chunks: every object serializer opens
+// with a 4-char tag (e.g. "TNSR"), so a reader that expects a Tensor but
+// meets a RandomForest fails loudly instead of misinterpreting bytes.
+// Reads are bounds-checked; truncation, bit flips (CRC), wrong magic, and
+// unknown versions all raise IoError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bprom::io {
+
+/// Raised on malformed, truncated, corrupt, or version-mismatched input.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  /// u64 length prefix + raw bytes.
+  void write_string(const std::string& s);
+  /// 4-character chunk tag (no length prefix).
+  void write_tag(const char (&tag)[5]);
+  /// u64 count prefix + f32 elements.
+  void write_f32_vec(const std::vector<float>& v);
+  /// u64 count prefix + i32 elements.
+  void write_i32_vec(const std::vector<int>& v);
+  /// u64 count prefix + u64 elements.
+  void write_u64_vec(const std::vector<std::size_t>& v);
+  /// u64 count prefix + f64 elements.
+  void write_f64_vec(const std::vector<double>& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const {
+    return payload_;
+  }
+
+  /// Header + payload + CRC as one byte vector.
+  [[nodiscard]] std::vector<std::uint8_t> finish() const;
+
+  /// Write finish() to a file; throws IoError on I/O failure.
+  void save_file(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> payload_;
+};
+
+class Reader {
+ public:
+  /// Parse a full container (header + payload + CRC); throws IoError.
+  explicit Reader(std::vector<std::uint8_t> bytes);
+
+  /// Read and parse a container file; throws IoError.
+  static Reader from_file(const std::string& path);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  /// Consume a 4-char tag and verify it matches; throws IoError otherwise.
+  void expect_tag(const char (&tag)[5]);
+  std::vector<float> read_f32_vec();
+  std::vector<int> read_i32_vec();
+  std::vector<std::size_t> read_u64_vec();
+  std::vector<double> read_f64_vec();
+
+  /// Bytes of payload not yet consumed.
+  [[nodiscard]] std::size_t remaining() const {
+    return payload_.size() - pos_;
+  }
+
+ private:
+  void need(std::size_t n) const;
+  std::uint64_t read_count(std::size_t elem_size);
+
+  std::vector<std::uint8_t> payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bprom::io

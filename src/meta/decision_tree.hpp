@@ -7,6 +7,11 @@
 
 #include "util/rng.hpp"
 
+namespace bprom::io {
+class Writer;
+class Reader;
+}  // namespace bprom::io
+
 namespace bprom::meta {
 
 struct TreeConfig {
@@ -29,6 +34,15 @@ class DecisionTree {
   [[nodiscard]] double predict_proba(const std::vector<float>& x) const;
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Binary persistence of the fitted tree structure + leaf stats
+  /// (implemented in io/serialize.cpp).  Loading validates structure —
+  /// children strictly after their parent (fit() builds trees that way,
+  /// and it guarantees the predict walk terminates) and split features
+  /// inside [0, feature_dim) — so a CRC-valid but hand-corrupted file
+  /// raises io::IoError instead of reading out of bounds or looping.
+  void save(io::Writer& writer) const;
+  static DecisionTree load(io::Reader& reader, std::size_t feature_dim);
 
  private:
   struct Node {

@@ -9,6 +9,7 @@ RandomForest::RandomForest(ForestConfig config) : config_(config) {}
 void RandomForest::fit(const std::vector<std::vector<float>>& x,
                        const std::vector<int>& y) {
   assert(x.size() == y.size() && !x.empty());
+  feature_dim_ = x[0].size();
   util::Rng rng(config_.seed);
   trees_.assign(config_.trees, DecisionTree{});
   for (auto& tree : trees_) {

@@ -31,10 +31,19 @@ class RandomForest {
   }
 
   [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  [[nodiscard]] const ForestConfig& config() const { return config_; }
+
+  /// Binary persistence of config + every fitted tree (implemented in
+  /// io/serialize.cpp).
+  void save(io::Writer& writer) const;
+  static RandomForest load(io::Reader& reader);
 
  private:
   ForestConfig config_;
   std::vector<DecisionTree> trees_;
+  /// Feature-vector length seen at fit() time; persisted so load() can
+  /// bound-check every tree's split features.  0 = never fitted.
+  std::size_t feature_dim_ = 0;
 };
 
 }  // namespace bprom::meta

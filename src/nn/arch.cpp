@@ -112,20 +112,27 @@ std::unique_ptr<Model> make_mlp(ImageShape input, std::size_t classes,
 
 std::unique_ptr<Model> make_model(ArchKind kind, ImageShape input,
                                   std::size_t classes, util::Rng& rng) {
+  std::unique_ptr<Model> model;
   switch (kind) {
     case ArchKind::kResNet18Mini:
-      return make_resnet(input, classes, rng);
+      model = make_resnet(input, classes, rng);
+      break;
     case ArchKind::kMobileNetV2Mini:
-      return make_mobilenet(input, classes, rng);
+      model = make_mobilenet(input, classes, rng);
+      break;
     case ArchKind::kMobileViTMini:
-      return make_mobilevit(input, classes, rng);
+      model = make_mobilevit(input, classes, rng);
+      break;
     case ArchKind::kSwinMini:
-      return make_swin(input, classes, rng);
+      model = make_swin(input, classes, rng);
+      break;
     case ArchKind::kMlp:
-      return make_mlp(input, classes, rng);
+      model = make_mlp(input, classes, rng);
+      break;
   }
-  assert(false);
-  return nullptr;
+  assert(model);
+  if (model) model->set_arch(kind);
+  return model;
 }
 
 }  // namespace bprom::nn

@@ -19,6 +19,9 @@ class SpatialSelfAttention final : public Layer {
   std::vector<Parameter*> parameters() override {
     return {&wq_, &wk_, &wv_, &wo_};
   }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<SpatialSelfAttention>(*this);
+  }
   [[nodiscard]] std::string name() const override {
     return "SpatialSelfAttention";
   }

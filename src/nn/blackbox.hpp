@@ -25,14 +25,31 @@ class BlackBoxModel {
 
   /// Number of queries served so far (for query-budget accounting).
   [[nodiscard]] virtual std::size_t query_count() const = 0;
+
+  /// Deep-copy into an independently queryable replica with its own query
+  /// counter, or nullptr when the backing service cannot be replicated.
+  /// Replicas let callers fan queries out across threads (one Model
+  /// instance is single-threaded — forward passes cache activations)
+  /// without widening the interface beyond confidence vectors.
+  [[nodiscard]] virtual std::unique_ptr<BlackBoxModel> replicate() const {
+    return nullptr;
+  }
 };
 
 /// Adapter exposing a concrete Model through the black-box interface.
 /// Mutable access is required internally (forward passes cache activations)
-/// but nothing beyond confidence vectors crosses the interface.
+/// but nothing beyond confidence vectors crosses the interface.  The
+/// adapter either borrows a caller-owned model or owns one outright (what
+/// replicate() hands back, and what serving code uses for models loaded
+/// from disk).
 class BlackBoxAdapter final : public BlackBoxModel {
  public:
+  /// Borrow `model`; it must outlive the adapter.
   explicit BlackBoxAdapter(Model& model) : model_(&model) {}
+
+  /// Own `model`.
+  explicit BlackBoxAdapter(std::unique_ptr<Model> model)
+      : owned_(std::move(model)), model_(owned_.get()) {}
 
   Tensor predict_proba(const Tensor& images) const override {
     queries_ += images.dim(0);
@@ -47,7 +64,12 @@ class BlackBoxAdapter final : public BlackBoxModel {
   }
   [[nodiscard]] std::size_t query_count() const override { return queries_; }
 
+  [[nodiscard]] std::unique_ptr<BlackBoxModel> replicate() const override {
+    return std::make_unique<BlackBoxAdapter>(model_->clone());
+  }
+
  private:
+  std::unique_ptr<Model> owned_;  // null when the model is borrowed
   Model* model_;
   mutable std::size_t queries_ = 0;
 };

@@ -14,6 +14,18 @@ ResidualBlock::ResidualBlock(std::size_t in_c, std::size_t out_c,
   }
 }
 
+ResidualBlock::ResidualBlock(const ResidualBlock& other)
+    : conv1_(other.conv1_),
+      bn1_(other.bn1_),
+      relu1_(other.relu1_),
+      conv2_(other.conv2_),
+      bn2_(other.bn2_),
+      proj_(other.proj_ ? std::make_unique<Conv2d>(*other.proj_) : nullptr),
+      proj_bn_(other.proj_bn_ ? std::make_unique<BatchNorm2d>(*other.proj_bn_)
+                              : nullptr),
+      relu_out_(other.relu_out_),
+      skip_input_(other.skip_input_) {}
+
 Tensor ResidualBlock::forward(const Tensor& x, bool train) {
   skip_input_ = x;
   Tensor h = conv1_.forward(x, train);
@@ -57,6 +69,16 @@ std::vector<Parameter*> ResidualBlock::parameters() {
   return params;
 }
 
+std::vector<std::vector<float>*> ResidualBlock::state() {
+  std::vector<std::vector<float>*> buffers;
+  for (auto* s : bn1_.state()) buffers.push_back(s);
+  for (auto* s : bn2_.state()) buffers.push_back(s);
+  if (proj_bn_) {
+    for (auto* s : proj_bn_->state()) buffers.push_back(s);
+  }
+  return buffers;
+}
+
 DepthwiseSeparableBlock::DepthwiseSeparableBlock(std::size_t in_c,
                                                  std::size_t out_c,
                                                  std::size_t stride,
@@ -98,6 +120,13 @@ std::vector<Parameter*> DepthwiseSeparableBlock::parameters() {
     for (auto* p : layer->parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<std::vector<float>*> DepthwiseSeparableBlock::state() {
+  std::vector<std::vector<float>*> buffers;
+  for (auto* s : bn1_.state()) buffers.push_back(s);
+  for (auto* s : bn2_.state()) buffers.push_back(s);
+  return buffers;
 }
 
 }  // namespace bprom::nn

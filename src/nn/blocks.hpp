@@ -15,10 +15,15 @@ class ResidualBlock final : public Layer {
  public:
   ResidualBlock(std::size_t in_c, std::size_t out_c, std::size_t stride,
                 util::Rng& rng);
+  ResidualBlock(const ResidualBlock& other);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<std::vector<float>*> state() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ResidualBlock>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "ResidualBlock"; }
 
  private:
@@ -45,6 +50,10 @@ class DepthwiseSeparableBlock final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<std::vector<float>*> state() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<DepthwiseSeparableBlock>(*this);
+  }
   [[nodiscard]] std::string name() const override {
     return "DepthwiseSeparableBlock";
   }

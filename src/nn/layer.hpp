@@ -6,8 +6,10 @@
 // clarity and testability win over generality.
 //
 // Threading: a Layer instance is NOT re-entrant (it caches forward state);
-// each model must be driven by one thread at a time.  Parallelism in the
-// library is across models, never within one.
+// each model must be driven by one thread at a time.  Parallelism across
+// models comes from per-thread clone()s; within one forward call, large
+// batch loops additionally shard over the pool with disjoint outputs (see
+// layers.cpp), which preserves the one-driving-thread rule.
 #pragma once
 
 #include <memory>
@@ -42,6 +44,15 @@ class Layer {
 
   /// Trainable parameters (non-owning, stable across calls).
   virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Persistent non-trainable state (non-owning, stable across calls):
+  /// buffers that must survive save/load for eval-mode correctness, e.g.
+  /// BatchNorm running statistics.  Forward caches are NOT state.
+  virtual std::vector<std::vector<float>*> state() { return {}; }
+
+  /// Deep copy: parameters, state, and structure are duplicated so the
+  /// replica can run forward/backward on another thread independently.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -4,11 +4,31 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace bprom::nn {
 namespace {
 
 float he_stddev(std::size_t fan_in) {
   return std::sqrt(2.0F / static_cast<float>(fan_in));
+}
+
+// Forward-only sharding threshold: below this many inner operations the
+// pool dispatch overhead dominates and the serial loop wins.  Each shard
+// writes a disjoint output slice and accumulates in the serial order, so
+// the parallel forward is bit-identical to the serial one.  Backward
+// passes stay serial — they accumulate into shared dw/db buffers.
+constexpr std::size_t kParallelForwardOps = std::size_t{1} << 21;
+
+/// Shard body(i) for i in [0, n) over the global pool when the estimated
+/// op count clears the threshold; run serially otherwise.
+template <typename Body>
+void forward_shard(std::size_t n, std::size_t total_ops, const Body& body) {
+  if (n > 1 && total_ops >= kParallelForwardOps) {
+    util::parallel_for(n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
 }
 
 }  // namespace
@@ -28,7 +48,7 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   Tensor y({n, out_});
   const float* w = weight_.value.data();
   const float* b = bias_.value.data();
-  for (std::size_t i = 0; i < n; ++i) {
+  forward_shard(n, n * out_ * in_, [&](std::size_t i) {
     const float* xi = x.data() + i * in_;
     float* yi = y.data() + i * out_;
     for (std::size_t o = 0; o < out_; ++o) {
@@ -37,7 +57,7 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
       for (std::size_t k = 0; k < in_; ++k) acc += wo[k] * xi[k];
       yi[o] = acc;
     }
-  }
+  });
   return y;
 }
 
@@ -245,33 +265,36 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   std::vector<float> var(channels_, 0.0F);
 
   if (train) {
-    for (std::size_t b = 0; b < n; ++b) {
-      for (std::size_t c = 0; c < channels_; ++c) {
+    // Channel totals accumulate per-sample partial sums in ascending batch
+    // order — the same additions as the serial loop, so sharding over
+    // channels is bit-identical.
+    forward_shard(channels_, n * channels_ * hw, [&](std::size_t c) {
+      float total = 0.0F;
+      for (std::size_t b = 0; b < n; ++b) {
         const float* px = x.data() + (b * channels_ + c) * hw;
         float acc = 0.0F;
         for (std::size_t i = 0; i < hw; ++i) acc += px[i];
-        batch_mean_[c] += acc;
+        total += acc;
       }
-    }
-    for (std::size_t c = 0; c < channels_; ++c) batch_mean_[c] /= count;
-    for (std::size_t b = 0; b < n; ++b) {
-      for (std::size_t c = 0; c < channels_; ++c) {
+      batch_mean_[c] = total / count;
+    });
+    forward_shard(channels_, n * channels_ * hw, [&](std::size_t c) {
+      float total = 0.0F;
+      for (std::size_t b = 0; b < n; ++b) {
         const float* px = x.data() + (b * channels_ + c) * hw;
         float acc = 0.0F;
         for (std::size_t i = 0; i < hw; ++i) {
           const float d = px[i] - batch_mean_[c];
           acc += d * d;
         }
-        var[c] += acc;
+        total += acc;
       }
-    }
-    for (std::size_t c = 0; c < channels_; ++c) {
-      var[c] /= count;
+      var[c] = total / count;
       running_mean_[c] =
           (1.0F - momentum_) * running_mean_[c] + momentum_ * batch_mean_[c];
       running_var_[c] =
           (1.0F - momentum_) * running_var_[c] + momentum_ * var[c];
-    }
+    });
   } else {
     batch_mean_ = running_mean_;
     var = running_var_;
@@ -282,7 +305,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
 
   normalized_ = Tensor(x.shape());
   Tensor y(x.shape());
-  for (std::size_t b = 0; b < n; ++b) {
+  forward_shard(n, n * channels_ * hw, [&](std::size_t b) {
     for (std::size_t c = 0; c < channels_; ++c) {
       const float* px = x.data() + (b * channels_ + c) * hw;
       float* pn = normalized_.data() + (b * channels_ + c) * hw;
@@ -296,7 +319,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
         py[i] = g * pn[i] + bt;
       }
     }
-  }
+  });
   return y;
 }
 
@@ -401,8 +424,8 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   const std::size_t ow = w / window_;
   Tensor y({n, c, oh, ow});
   argmax_.assign(n * c * oh * ow, 0);
-  std::size_t out_i = 0;
-  for (std::size_t b = 0; b < n; ++b) {
+  forward_shard(n, n * c * h * w, [&](std::size_t b) {
+    std::size_t out_i = b * c * oh * ow;
     for (std::size_t ch = 0; ch < c; ++ch) {
       for (std::size_t oy = 0; oy < oh; ++oy) {
         for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
@@ -425,7 +448,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -446,14 +469,14 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   const std::size_t c = x.dim(1);
   const std::size_t hw = x.dim(2) * x.dim(3);
   Tensor y({n, c});
-  for (std::size_t b = 0; b < n; ++b) {
+  forward_shard(n, n * c * hw, [&](std::size_t b) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* px = x.data() + (b * c + ch) * hw;
       float acc = 0.0F;
       for (std::size_t i = 0; i < hw; ++i) acc += px[i];
       y.at2(b, ch) = acc / static_cast<float>(hw);
     }
-  }
+  });
   return y;
 }
 

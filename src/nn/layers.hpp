@@ -18,6 +18,9 @@ class Linear final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Linear>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "Linear"; }
 
   [[nodiscard]] std::size_t in_features() const { return in_; }
@@ -39,6 +42,9 @@ class Conv2d final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "Conv2d"; }
 
  private:
@@ -63,6 +69,9 @@ class DepthwiseConv2d final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<DepthwiseConv2d>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "DepthwiseConv2d"; }
 
  private:
@@ -83,6 +92,12 @@ class BatchNorm2d final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<std::vector<float>*> state() override {
+    return {&running_mean_, &running_var_};
+  }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<BatchNorm2d>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "BatchNorm2d"; }
 
  private:
@@ -104,6 +119,9 @@ class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "ReLU"; }
 
  private:
@@ -114,6 +132,9 @@ class Gelu final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Gelu>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "GELU"; }
 
  private:
@@ -126,6 +147,9 @@ class MaxPool2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
 
  private:
@@ -138,6 +162,9 @@ class GlobalAvgPool final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
 
  private:
@@ -148,6 +175,9 @@ class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "Flatten"; }
 
  private:

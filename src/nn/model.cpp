@@ -67,10 +67,30 @@ std::vector<Parameter*> Model::parameters() {
   return params;
 }
 
+std::vector<std::vector<float>*> Model::state_buffers() {
+  auto buffers = backbone_->state();
+  for (auto* s : head_->state()) buffers.push_back(s);
+  return buffers;
+}
+
+std::unique_ptr<Model> Model::clone() const {
+  auto backbone = std::unique_ptr<Sequential>(
+      static_cast<Sequential*>(backbone_->clone().release()));
+  auto head =
+      std::unique_ptr<Linear>(static_cast<Linear*>(head_->clone().release()));
+  auto copy = std::make_unique<Model>(std::move(backbone), std::move(head),
+                                      input_, classes_);
+  copy->arch_ = arch_;
+  return copy;
+}
+
 std::vector<float> Model::save_parameters() {
   std::vector<float> blob;
   for (auto* p : parameters()) {
     blob.insert(blob.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  for (auto* s : state_buffers()) {
+    blob.insert(blob.end(), s->begin(), s->end());
   }
   return blob;
 }
@@ -83,6 +103,13 @@ void Model::load_parameters(const std::vector<float>& blob) {
               blob.begin() + static_cast<long>(offset + p->value.size()),
               p->value.vec().begin());
     offset += p->value.size();
+  }
+  for (auto* s : state_buffers()) {
+    assert(offset + s->size() <= blob.size());
+    std::copy(blob.begin() + static_cast<long>(offset),
+              blob.begin() + static_cast<long>(offset + s->size()),
+              s->begin());
+    offset += s->size();
   }
   assert(offset == blob.size());
 }

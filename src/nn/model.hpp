@@ -12,7 +12,14 @@
 #include "nn/layers.hpp"
 #include "nn/sequential.hpp"
 
+namespace bprom::io {
+class Writer;
+class Reader;
+}  // namespace bprom::io
+
 namespace bprom::nn {
+
+enum class ArchKind;
 
 struct ImageShape {
   std::size_t channels = 3;
@@ -49,24 +56,42 @@ class Model {
 
   std::vector<Parameter*> parameters();
 
+  /// Persistent non-trainable buffers (BatchNorm running stats), in the
+  /// same deterministic order as parameters().
+  std::vector<std::vector<float>*> state_buffers();
+
+  /// Deep copy: layers, weights, and running stats are duplicated so the
+  /// replica can serve forward passes on another thread independently.
+  [[nodiscard]] std::unique_ptr<Model> clone() const;
+
   [[nodiscard]] const ImageShape& input_shape() const { return input_; }
   [[nodiscard]] std::size_t num_classes() const { return classes_; }
   [[nodiscard]] std::size_t feature_dim() const {
     return head_->in_features();
   }
 
-  /// Flatten all parameters into a blob / restore from one (round-trips
-  /// trained weights; BatchNorm running stats are NOT included, so save only
-  /// models intended for eval-mode use after a fresh stats pass, or keep the
-  /// object alive — the library keeps models in memory in practice).
+  /// Architecture family this model was built from (stamped by make_model);
+  /// the descriptor that lets save()/load() rebuild the layer graph.
+  [[nodiscard]] ArchKind arch() const { return arch_; }
+  void set_arch(ArchKind arch) { arch_ = arch; }
+
+  /// Flatten all parameters AND persistent state (BatchNorm running
+  /// mean/var) into a blob / restore from one.  A restored model is
+  /// eval-ready with no fresh stats pass.
   [[nodiscard]] std::vector<float> save_parameters();
   void load_parameters(const std::vector<float>& blob);
+
+  /// Binary persistence: architecture descriptor + input shape + classes +
+  /// the save_parameters() blob.  Implemented in io/serialize.cpp.
+  void save(io::Writer& writer);
+  static std::unique_ptr<Model> load(io::Reader& reader);
 
  private:
   std::unique_ptr<Sequential> backbone_;
   std::unique_ptr<Linear> head_;
   ImageShape input_;
   std::size_t classes_;
+  ArchKind arch_{};
 };
 
 }  // namespace bprom::nn

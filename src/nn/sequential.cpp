@@ -24,4 +24,18 @@ std::vector<Parameter*> Sequential::parameters() {
   return params;
 }
 
+std::vector<std::vector<float>*> Sequential::state() {
+  std::vector<std::vector<float>*> buffers;
+  for (auto& layer : layers_) {
+    for (auto* s : layer->state()) buffers.push_back(s);
+  }
+  return buffers;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const auto& layer : layers_) copy->push(layer->clone());
+  return copy;
+}
+
 }  // namespace bprom::nn

@@ -27,6 +27,8 @@ class Sequential final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<std::vector<float>*> state() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Sequential"; }
 
   [[nodiscard]] std::size_t size() const { return layers_.size(); }

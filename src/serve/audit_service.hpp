@@ -1,0 +1,69 @@
+// Batched audit front end: the MLaaS-marketplace deployment of BPROM.
+//
+// A batch of suspicious black-box models fans out over the thread pool;
+// every request is inspected independently (the detector is const and
+// thread-safe, and the prompt ensemble inside inspect() runs on per-thread
+// model replicas).  Request Rng salts are pre-split from the service seed
+// on the calling thread, so a batch returns bit-identical verdicts for any
+// thread count — and for the serial loop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bprom.hpp"
+#include "serve/detector_store.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bprom::serve {
+
+struct AuditRequest {
+  /// Caller-chosen identifier echoed back in the response.
+  std::string model_id;
+  /// Borrowed; must outlive the audit() call.
+  const nn::BlackBoxModel* model = nullptr;
+};
+
+struct AuditResponse {
+  std::string model_id;
+  bool ok = false;
+  /// Failure description when !ok (verdict is default-constructed then).
+  std::string error;
+  core::Verdict verdict;
+  /// Wall-clock inspection time for this request.
+  double seconds = 0.0;
+};
+
+struct AuditServiceConfig {
+  /// Root seed the per-request prompt-ensemble salts are split from.
+  std::uint64_t seed = 97;
+  /// Pool the batch fans out on; nullptr = process-wide pool.  Borrowed.
+  util::ThreadPool* pool = nullptr;
+};
+
+class AuditService {
+ public:
+  AuditService(std::shared_ptr<const core::BpromDetector> detector,
+               AuditServiceConfig config = {});
+
+  /// Convenience: serve the named detector out of a store.
+  AuditService(DetectorStore& store, const std::string& name,
+               AuditServiceConfig config = {});
+
+  /// Inspect every request concurrently; responses keep batch order.
+  /// Individual failures (null model, class-count mismatch) come back as
+  /// !ok responses instead of aborting the batch.
+  [[nodiscard]] std::vector<AuditResponse> audit(
+      const std::vector<AuditRequest>& batch) const;
+
+  [[nodiscard]] const core::BpromDetector& detector() const {
+    return *detector_;
+  }
+
+ private:
+  std::shared_ptr<const core::BpromDetector> detector_;
+  AuditServiceConfig config_;
+};
+
+}  // namespace bprom::serve

@@ -1,0 +1,79 @@
+#include "serve/detector_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "io/serialize.hpp"
+
+namespace bprom::serve {
+
+namespace fs = std::filesystem;
+
+DetectorStore::DetectorStore(std::string directory)
+    : dir_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw io::IoError("cannot create store directory " + dir_ + ": " +
+                      ec.message());
+  }
+}
+
+std::string DetectorStore::path_for(const std::string& name) const {
+  return (fs::path(dir_) / (name + io::kFileExtension)).string();
+}
+
+std::shared_ptr<const core::BpromDetector> DetectorStore::put(
+    const std::string& name, core::BpromDetector detector) {
+  io::save_detector_file(path_for(name), detector);
+  auto handle =
+      std::make_shared<const core::BpromDetector>(std::move(detector));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[name] = handle;
+  return handle;
+}
+
+std::shared_ptr<const core::BpromDetector> DetectorStore::get(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(name);
+    if (it != cache_.end()) return it->second;
+  }
+  // Load outside the lock so a slow disk read does not serialize unrelated
+  // lookups; first insertion wins if two threads race on the same name.
+  auto loaded = std::make_shared<const core::BpromDetector>(
+      io::load_detector_file(path_for(name)));
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.emplace(name, std::move(loaded)).first->second;
+}
+
+bool DetectorStore::contains(const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_.count(name) > 0) return true;
+  }
+  std::error_code ec;
+  return fs::exists(path_for(name), ec);
+}
+
+std::vector<std::string> DetectorStore::list() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == io::kFileExtension) {
+      names.push_back(p.stem().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void DetectorStore::evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(name);
+}
+
+}  // namespace bprom::serve

@@ -1,0 +1,54 @@
+// Directory-backed store of fitted detectors.
+//
+// Detectors are expensive to fit (a whole shadow population) but cheap to
+// load, so the serving front end keeps them on disk as `<name>.bprom`
+// containers and caches loads in memory.  The store hands out shared_ptr
+// to *const* detectors: inspection is const and thread-safe across
+// requests, so one cached detector serves a whole audit fleet.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/bprom.hpp"
+
+namespace bprom::serve {
+
+class DetectorStore {
+ public:
+  /// Opens (and creates if needed) the backing directory.
+  explicit DetectorStore(std::string directory);
+
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+
+  /// Filesystem path a named detector lives at.
+  [[nodiscard]] std::string path_for(const std::string& name) const;
+
+  /// Save a fitted detector under `name` and cache it; returns the cached
+  /// handle.  Throws io::IoError on unfitted detectors or write failure.
+  std::shared_ptr<const core::BpromDetector> put(const std::string& name,
+                                                 core::BpromDetector detector);
+
+  /// Cached detector, loading from disk on first use.  Throws io::IoError
+  /// when the name has never been stored.
+  std::shared_ptr<const core::BpromDetector> get(const std::string& name);
+
+  /// True when `name` is cached or present on disk.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Names of every detector on disk, sorted.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Drop a name from the in-memory cache (the file stays on disk).
+  void evict(const std::string& name);
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const core::BpromDetector>> cache_;
+};
+
+}  // namespace bprom::serve

@@ -1,0 +1,195 @@
+// Serving-layer behavior: model cloning, parallel-inspect determinism,
+// the detector store cache, and batched audits.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "io/binary.hpp"
+#include "nn/arch.hpp"
+#include "serve/audit_service.hpp"
+#include "serve/detector_store.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bprom {
+namespace {
+
+core::ExperimentScale micro_scale() {
+  core::ExperimentScale s;
+  s.suspicious_train = 120;
+  s.suspicious_epochs = 2;
+  s.population_per_side = 1;
+  s.shadows_per_side = 2;
+  s.shadow_epochs = 2;
+  s.prompt_epochs = 1;
+  s.blackbox_evals = 40;
+  s.query_samples = 4;
+  s.forest_trees = 20;
+  return s;
+}
+
+/// Black box that deliberately does not support replicate(): forces the
+/// serial ensemble fallback inside inspect().
+class NonReplicableBox final : public nn::BlackBoxModel {
+ public:
+  explicit NonReplicableBox(nn::Model& model) : inner_(model) {}
+  nn::Tensor predict_proba(const nn::Tensor& images) const override {
+    return inner_.predict_proba(images);
+  }
+  [[nodiscard]] std::size_t num_classes() const override {
+    return inner_.num_classes();
+  }
+  [[nodiscard]] nn::ImageShape input_shape() const override {
+    return inner_.input_shape();
+  }
+  [[nodiscard]] std::size_t query_count() const override {
+    return inner_.query_count();
+  }
+
+ private:
+  nn::BlackBoxAdapter inner_;
+};
+
+TEST(ModelClone, CloneIsDeepAndLogitIdentical) {
+  auto dataset = data::make_dataset(data::DatasetKind::kCifar10, 31, 96, 32);
+  util::Rng rng(5);
+  auto model = nn::make_model(nn::ArchKind::kResNet18Mini,
+                              dataset.profile.shape, dataset.profile.classes,
+                              rng);
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  nn::train_classifier(*model, dataset.train, tc);
+
+  auto copy = model->clone();
+  EXPECT_EQ(copy->arch(), model->arch());
+  const auto expected = model->logits(dataset.test.images, false);
+  const auto actual = copy->logits(dataset.test.images, false);
+  EXPECT_EQ(expected.vec(), actual.vec());
+
+  // Deep copy: retraining the original must not disturb the clone.
+  nn::TrainConfig more;
+  more.epochs = 1;
+  more.seed = 99;
+  nn::train_classifier(*model, dataset.train, more);
+  const auto after = copy->logits(dataset.test.images, false);
+  EXPECT_EQ(expected.vec(), after.vec());
+}
+
+TEST(ParallelInspect, VerdictsMatchAcrossThreadCountsAndReplicationModes) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 33, 400, 160);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 34, 300, 160);
+  const auto scale = micro_scale();
+
+  util::ThreadPool one(1);
+  util::ThreadPool four(4);
+  auto det_one = core::fit_detector(src, tgt, 0.10,
+                                    nn::ArchKind::kResNet18Mini, 7, scale,
+                                    &one);
+  auto det_four = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale,
+                                     &four);
+
+  auto suspicious = core::train_clean_model(src, nn::ArchKind::kResNet18Mini,
+                                            50, scale);
+  ASSERT_GE(det_one.config().prompt_ensemble, 2U)
+      << "test needs an ensemble to exercise the parallel path";
+
+  nn::BlackBoxAdapter box_one(*suspicious.model);
+  nn::BlackBoxAdapter box_four(*suspicious.model);
+  const auto serial = det_one.inspect(box_one);
+  const auto parallel = det_four.inspect(box_four);
+  EXPECT_EQ(serial.score, parallel.score);
+  EXPECT_EQ(serial.prompted_accuracy, parallel.prompted_accuracy);
+  EXPECT_EQ(serial.queries, parallel.queries);
+
+  // A black box without replicate() support must fall back to the serial
+  // ensemble and still produce the identical verdict.
+  NonReplicableBox opaque(*suspicious.model);
+  const auto fallback = det_four.inspect(opaque);
+  EXPECT_EQ(serial.score, fallback.score);
+  EXPECT_EQ(serial.prompted_accuracy, fallback.prompted_accuracy);
+  EXPECT_EQ(serial.queries, fallback.queries);
+}
+
+TEST(DetectorStore, PutGetListAndCacheBehavior) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 35, 400, 160);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 36, 300, 160);
+  const auto scale = micro_scale();
+  auto detector = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bprom_test_store").string();
+  std::filesystem::remove_all(dir);
+  serve::DetectorStore store(dir);
+  EXPECT_FALSE(store.contains("aud"));
+  EXPECT_THROW(store.get("aud"), io::IoError);
+
+  auto put_handle = store.put("aud", std::move(detector));
+  EXPECT_TRUE(store.contains("aud"));
+  EXPECT_EQ(store.list(), std::vector<std::string>{"aud"});
+  // Cached: get() returns the same object without re-reading the file.
+  EXPECT_EQ(store.get("aud").get(), put_handle.get());
+
+  // A second store over the same directory simulates a fresh process.
+  serve::DetectorStore fresh(dir);
+  auto loaded = fresh.get("aud");
+  ASSERT_TRUE(loaded->fitted());
+  EXPECT_EQ(loaded->diagnostics().meta_features,
+            put_handle->diagnostics().meta_features);
+  // Eviction drops the cache entry but not the file.
+  fresh.evict("aud");
+  EXPECT_TRUE(fresh.contains("aud"));
+  EXPECT_NE(fresh.get("aud").get(), loaded.get());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AuditService, BatchVerdictsAreThreadCountInvariant) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 37, 400, 160);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 38, 300, 160);
+  const auto scale = micro_scale();
+  auto detector = std::make_shared<const core::BpromDetector>(
+      core::fit_detector(src, tgt, 0.10, nn::ArchKind::kResNet18Mini, 7,
+                         scale));
+
+  auto population = core::build_population(
+      src, attacks::AttackConfig::defaults(attacks::AttackKind::kBadNets),
+      nn::ArchKind::kResNet18Mini, 1, 40, scale);
+  std::vector<nn::BlackBoxAdapter> boxes;
+  boxes.reserve(population.size());
+  std::vector<serve::AuditRequest> batch;
+  for (auto& suspicious : population) {
+    boxes.emplace_back(*suspicious.model);
+    batch.push_back({"model-" + std::to_string(batch.size()), &boxes.back()});
+  }
+  batch.push_back({"broken", nullptr});
+
+  util::ThreadPool one(1);
+  util::ThreadPool four(4);
+  serve::AuditServiceConfig cfg_one;
+  cfg_one.pool = &one;
+  serve::AuditServiceConfig cfg_four;
+  cfg_four.pool = &four;
+  const auto serial = serve::AuditService(detector, cfg_one).audit(batch);
+  const auto parallel = serve::AuditService(detector, cfg_four).audit(batch);
+
+  ASSERT_EQ(serial.size(), batch.size());
+  ASSERT_EQ(parallel.size(), batch.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok);
+    EXPECT_EQ(serial[i].model_id, parallel[i].model_id);
+    EXPECT_EQ(serial[i].verdict.score, parallel[i].verdict.score);
+    EXPECT_EQ(serial[i].verdict.prompted_accuracy,
+              parallel[i].verdict.prompted_accuracy);
+    EXPECT_EQ(serial[i].verdict.backdoored, parallel[i].verdict.backdoored);
+  }
+  // The malformed request fails gracefully without sinking the batch.
+  EXPECT_FALSE(serial.back().ok);
+  EXPECT_EQ(serial.back().error, "null model");
+  EXPECT_FALSE(parallel.back().ok);
+}
+
+}  // namespace
+}  // namespace bprom
