@@ -34,8 +34,7 @@ int main() {
     print_elapsed(clock, "BPROM detector fitted");
     std::vector<std::string> row = {"BPROM (10%)"};
     double avg = 0;
-    for (auto a : main_attacks()) {
-      auto cell = bprom_cell(detector, *src, a, arch, 300 + (int)a, env.scale);
+    for (const auto& cell : bprom_row(detector, *src, arch, 300, env.scale)) {
       row.push_back(util::cell(cell.auroc));
       avg += cell.auroc;
     }

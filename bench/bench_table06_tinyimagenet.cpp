@@ -29,8 +29,8 @@ int main() {
     auto detector = core::fit_detector(tiny, env.stl10, 0.10, arch, 7, env.scale);
     std::vector<std::string> row = {"BPROM (10%)"};
     double avg = 0;
-    for (auto a : kinds) {
-      auto cell = bprom_cell(detector, tiny, a, arch, 350 + (int)a, env.scale);
+    for (const auto& cell :
+         bprom_row(detector, tiny, arch, 350, env.scale, kinds)) {
       row.push_back(util::cell(cell.auroc));
       avg += cell.auroc;
     }

@@ -23,8 +23,7 @@ int main() {
     auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
     std::vector<std::string> au = {"BPROM (10%)", "AUROC"};
     std::vector<std::string> f1 = {"BPROM (10%)", "F1"};
-    for (auto a : main_attacks()) {
-      auto cell = bprom_cell(detector, *src, a, arch, 850 + (int)a, env.scale);
+    for (const auto& cell : bprom_row(detector, *src, arch, 850, env.scale)) {
       au.push_back(util::cell(cell.auroc));
       f1.push_back(util::cell(cell.f1));
     }

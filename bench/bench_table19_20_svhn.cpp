@@ -14,8 +14,7 @@ int main() {
     std::vector<std::string> f1 = {"F1"};
     std::vector<std::string> au = {"AUROC"};
     double af = 0, aa = 0;
-    for (auto a : main_attacks()) {
-      auto cell = bprom_cell(detector, *src, a, arch, 900 + (int)a, env.scale);
+    for (const auto& cell : bprom_row(detector, *src, arch, 900, env.scale)) {
       f1.push_back(util::cell(cell.f1));
       au.push_back(util::cell(cell.auroc));
       af += cell.f1;

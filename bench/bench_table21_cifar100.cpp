@@ -29,8 +29,8 @@ int main() {
   auto detector = core::fit_detector(cifar100, env.stl10, 0.10, arch, 7, env.scale);
   std::vector<std::string> row = {"BPROM (10%)"};
   double avg = 0;
-  for (auto a : kinds) {
-    auto cell = bprom_cell(detector, cifar100, a, arch, 970 + (int)a, env.scale);
+  for (const auto& cell :
+       bprom_row(detector, cifar100, arch, 970, env.scale, kinds)) {
     row.push_back(util::cell(cell.auroc));
     avg += cell.auroc;
   }

@@ -16,8 +16,8 @@ int main() {
       auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
       std::vector<std::string> row = {src->profile.name};
       double avg = 0;
-      for (auto a : kinds) {
-        auto cell = bprom_cell(detector, *src, a, arch, 1200 + (int)a, env.scale);
+      for (const auto& cell :
+           bprom_row(detector, *src, arch, 1200, env.scale, kinds)) {
         row.push_back(util::cell(cell.auroc));
         avg += cell.auroc;
       }

@@ -27,8 +27,8 @@ int main() {
   auto detector = core::fit_detector(imagenet, env.stl10, 0.10, arch, 7, env.scale);
   std::vector<std::string> row = {"BPROM (10%)"};
   double avg = 0;
-  for (auto a : kinds) {
-    auto cell = bprom_cell(detector, imagenet, a, arch, 1350 + (int)a, env.scale);
+  for (const auto& cell :
+       bprom_row(detector, imagenet, arch, 1350, env.scale, kinds)) {
     row.push_back(util::cell(cell.auroc));
     avg += cell.auroc;
   }

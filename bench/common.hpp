@@ -47,37 +47,31 @@ inline const std::vector<attacks::AttackKind>& main_attacks() {
 }
 
 /// BPROM AUROC/F1 for one (source, attack) cell; reuses a fitted detector.
-struct CellResult {
-  double auroc = 0.5;
-  double f1 = 0.0;
-  double mean_asr = 0.0;
-  double mean_acc = 0.0;
-};
+/// (The implementation lives in core::evaluate_cell so examples and tests
+/// share it.)
+using CellResult = core::CellResult;
 
 inline CellResult bprom_cell(const core::BpromDetector& detector,
                              const data::Dataset& source,
                              attacks::AttackKind kind, nn::ArchKind arch,
                              std::uint64_t seed,
                              const core::ExperimentScale& scale) {
-  auto atk = attacks::AttackConfig::defaults(kind);
-  auto population = core::build_population(source, atk, arch,
-                                           scale.population_per_side, seed,
-                                           scale);
-  auto scores = core::score_population(detector, population);
-  CellResult cell;
-  cell.auroc = scores.auroc();
-  cell.f1 = scores.f1();
-  std::size_t nb = 0;
-  for (const auto& m : population) {
-    if (m.backdoored) {
-      cell.mean_asr += m.asr;
-      ++nb;
-    }
-    cell.mean_acc += m.clean_accuracy;
-  }
-  if (nb > 0) cell.mean_asr /= static_cast<double>(nb);
-  cell.mean_acc /= static_cast<double>(population.size());
-  return cell;
+  return core::evaluate_cell(detector, source,
+                             attacks::AttackConfig::defaults(kind), arch, seed,
+                             scale);
+}
+
+/// One table row: every attack cell of the row evaluated in parallel over
+/// the pool.  Cells are independent and cell i's seed is seed_base + kind,
+/// exactly what the serial `for (auto a : kinds) bprom_cell(..., seed_base +
+/// (int)a, ...)` loop used — so rows are bit-identical to the serial loop
+/// for any thread count.
+inline std::vector<CellResult> bprom_row(
+    const core::BpromDetector& detector, const data::Dataset& source,
+    nn::ArchKind arch, std::uint64_t seed_base,
+    const core::ExperimentScale& scale,
+    const std::vector<attacks::AttackKind>& kinds = main_attacks()) {
+  return core::evaluate_grid(detector, source, kinds, arch, seed_base, scale);
 }
 
 /// Baseline defense AUROC for one (model, attack) cell in its own regime.

@@ -257,11 +257,16 @@ Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
   const std::size_t ensemble = std::max<std::size_t>(1, config_.prompt_ensemble);
   std::vector<std::vector<float>> features(ensemble);
   std::vector<double> accuracies(ensemble, 0.0);
+  // Queries that prompt learning served on its own internal replicas; they
+  // never reach the counter of the box a member sees, so they must be added
+  // back explicitly for the verdict's accounting to stay exact.
+  std::vector<std::size_t> hidden_queries(ensemble, 0);
 
   const auto run_member = [&](std::size_t r, const nn::BlackBoxModel& box) {
     vp::BlackBoxPromptConfig pc = config_.prompt_blackbox;
     pc.seed = config_.prompt_blackbox.seed + seed_salt + 7919 * (r + 1);
     auto bb = vp::learn_prompt_blackbox(box, target_train_, pc);
+    hidden_queries[r] = bb.replica_queries;
 
     features[r] = meta_feature_vector(box, bb.prompt);
     vp::PromptedModel prompted(box, bb.prompt);
@@ -309,6 +314,7 @@ Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
   verdict.backdoored = verdict.score >= 0.5;
   verdict.queries = suspicious.query_count() - queries_before;
   for (const auto& replica : replicas) verdict.queries += replica->query_count();
+  for (std::size_t q : hidden_queries) verdict.queries += q;
   return verdict;
 }
 

@@ -175,4 +175,43 @@ PopulationScores score_population(
   return out;
 }
 
+CellResult evaluate_cell(const BpromDetector& detector,
+                         const data::Dataset& source,
+                         const attacks::AttackConfig& attack, nn::ArchKind arch,
+                         std::uint64_t seed, const ExperimentScale& scale,
+                         util::ThreadPool* pool) {
+  auto population = build_population(source, attack, arch,
+                                     scale.population_per_side, seed, scale,
+                                     pool);
+  auto scores = score_population(detector, population, pool);
+  CellResult cell;
+  cell.auroc = scores.auroc();
+  cell.f1 = scores.f1();
+  std::size_t nb = 0;
+  for (const auto& m : population) {
+    if (m.backdoored) {
+      cell.mean_asr += m.asr;
+      ++nb;
+    }
+    cell.mean_acc += m.clean_accuracy;
+  }
+  if (nb > 0) cell.mean_asr /= static_cast<double>(nb);
+  cell.mean_acc /= static_cast<double>(population.size());
+  return cell;
+}
+
+std::vector<CellResult> evaluate_grid(
+    const BpromDetector& detector, const data::Dataset& source,
+    const std::vector<attacks::AttackKind>& kinds, nn::ArchKind arch,
+    std::uint64_t seed_base, const ExperimentScale& scale,
+    util::ThreadPool* pool) {
+  std::vector<CellResult> cells(kinds.size());
+  util::parallel_for(kinds.size(), [&](std::size_t i) {
+    cells[i] = evaluate_cell(
+        detector, source, attacks::AttackConfig::defaults(kinds[i]), arch,
+        seed_base + static_cast<std::uint64_t>(kinds[i]), scale, pool);
+  }, pool);
+  return cells;
+}
+
 }  // namespace bprom::core

@@ -88,4 +88,31 @@ PopulationScores score_population(
     const std::vector<TrainedSuspicious>& population,
     util::ThreadPool* pool = nullptr);
 
+/// Aggregate metrics of one independent (source × attack) bench grid cell:
+/// a population built for one attack, scored by one fitted detector.
+struct CellResult {
+  double auroc = 0.5;
+  double f1 = 0.0;
+  double mean_asr = 0.0;
+  double mean_acc = 0.0;
+};
+
+/// Build + score the population for one grid cell (reuses a fitted
+/// detector).  Safe to call from inside evaluate_grid's pool tasks: the
+/// nested population / scoring parallel_fors are work-assisting.
+CellResult evaluate_cell(const BpromDetector& detector,
+                         const data::Dataset& source,
+                         const attacks::AttackConfig& attack, nn::ArchKind arch,
+                         std::uint64_t seed, const ExperimentScale& scale,
+                         util::ThreadPool* pool = nullptr);
+
+/// Evaluate one cell per attack kind, sharded over the pool — the cells are
+/// independent and each derives its seed only from its attack kind
+/// (seed_base + kind), so the grid is bit-identical for any thread count.
+std::vector<CellResult> evaluate_grid(
+    const BpromDetector& detector, const data::Dataset& source,
+    const std::vector<attacks::AttackKind>& kinds, nn::ArchKind arch,
+    std::uint64_t seed_base, const ExperimentScale& scale,
+    util::ThreadPool* pool = nullptr);
+
 }  // namespace bprom::core

@@ -6,6 +6,7 @@
 // is no way to reach gradients or parameters through this interface.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 
@@ -51,8 +52,18 @@ class BlackBoxAdapter final : public BlackBoxModel {
   explicit BlackBoxAdapter(std::unique_ptr<Model> model)
       : owned_(std::move(model)), model_(owned_.get()) {}
 
+  /// Moves carry the query tally over (the atomic member suppresses the
+  /// implicit move).  Only valid while no other thread queries `other`,
+  /// like any move.
+  BlackBoxAdapter(BlackBoxAdapter&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        model_(other.model_),
+        queries_(other.queries_.load(std::memory_order_relaxed)) {
+    other.model_ = nullptr;
+  }
+
   Tensor predict_proba(const Tensor& images) const override {
-    queries_ += images.dim(0);
+    queries_.fetch_add(images.dim(0), std::memory_order_relaxed);
     return model_->predict_proba(images);
   }
 
@@ -62,8 +73,14 @@ class BlackBoxAdapter final : public BlackBoxModel {
   [[nodiscard]] ImageShape input_shape() const override {
     return model_->input_shape();
   }
-  [[nodiscard]] std::size_t query_count() const override { return queries_; }
+  [[nodiscard]] std::size_t query_count() const override {
+    return queries_.load(std::memory_order_relaxed);
+  }
 
+  /// The replica starts with a zero query counter; callers that fan work
+  /// out over replicas must add each replica's query_count() back into
+  /// their own accounting (learn_prompt_blackbox and BpromDetector::inspect
+  /// do) so totals stay exact.
   [[nodiscard]] std::unique_ptr<BlackBoxModel> replicate() const override {
     return std::make_unique<BlackBoxAdapter>(model_->clone());
   }
@@ -71,7 +88,12 @@ class BlackBoxAdapter final : public BlackBoxModel {
  private:
   std::unique_ptr<Model> owned_;  // null when the model is borrowed
   Model* model_;
-  mutable std::size_t queries_ = 0;
+  // Relaxed atomic: one adapter may be queried from several pool threads
+  // (the underlying Model is not — callers replicate() per thread — but
+  // nothing in this interface stops concurrent const queries, and a plain
+  // size_t made that a data race).  Counting needs no ordering, only
+  // atomicity.
+  mutable std::atomic<std::size_t> queries_{0};
 };
 
 }  // namespace bprom::nn

@@ -13,22 +13,42 @@ float he_stddev(std::size_t fan_in) {
   return std::sqrt(2.0F / static_cast<float>(fan_in));
 }
 
-// Forward-only sharding threshold: below this many inner operations the
-// pool dispatch overhead dominates and the serial loop wins.  Each shard
-// writes a disjoint output slice and accumulates in the serial order, so
-// the parallel forward is bit-identical to the serial one.  Backward
-// passes stay serial — they accumulate into shared dw/db buffers.
-constexpr std::size_t kParallelForwardOps = std::size_t{1} << 21;
+// Sharding threshold: below this many inner operations the pool dispatch
+// overhead dominates and the serial loop wins.  The gate depends only on
+// problem size, never on thread count, so which path runs is itself
+// deterministic.  Forward shards write disjoint output slices and
+// accumulate in the serial order, so the parallel forward is bit-identical
+// to the serial one.  Backward passes shard in one of two ways:
+//   - over an axis that owns its accumulators outright (channels for
+//     depthwise conv / batchnorm, samples for dx scatter) — bit-identical
+//     to the serial loop; or
+//   - over the batch with per-shard dw/db partial buffers reduced in fixed
+//     ascending-shard order (Linear, Conv2d, whose weight gradients are
+//     shared across the whole batch).  The shard count is a constant, so
+//     the float summation tree — and therefore every bit of the result —
+//     is the same for any thread count.
+constexpr std::size_t kParallelOps = std::size_t{1} << 21;
 
-/// Shard body(i) for i in [0, n) over the global pool when the estimated
+/// Shard body(i) for i in [0, n) over the default pool when the estimated
 /// op count clears the threshold; run serially otherwise.
 template <typename Body>
-void forward_shard(std::size_t n, std::size_t total_ops, const Body& body) {
-  if (n > 1 && total_ops >= kParallelForwardOps) {
+void shard_loop(std::size_t n, std::size_t total_ops, const Body& body) {
+  if (n > 1 && total_ops >= kParallelOps) {
     util::parallel_for(n, body);
   } else {
     for (std::size_t i = 0; i < n; ++i) body(i);
   }
+}
+
+// Fixed shard count for batch-sharded gradient accumulation.  This is a
+// constant — NOT the pool size — because the summation grouping must not
+// change with the thread count if results are to stay bit-identical.
+constexpr std::size_t kGradShards = 16;
+
+/// Contiguous shard bounds: shard s of `shards` covers [lo, hi) of n items.
+constexpr std::size_t shard_lo(std::size_t s, std::size_t shards,
+                               std::size_t n) {
+  return s * n / shards;
 }
 
 }  // namespace
@@ -48,7 +68,7 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   Tensor y({n, out_});
   const float* w = weight_.value.data();
   const float* b = bias_.value.data();
-  forward_shard(n, n * out_ * in_, [&](std::size_t i) {
+  shard_loop(n, n * out_ * in_, [&](std::size_t i) {
     const float* xi = x.data() + i * in_;
     float* yi = y.data() + i * out_;
     for (std::size_t o = 0; o < out_; ++o) {
@@ -64,25 +84,57 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
 Tensor Linear::backward(const Tensor& grad_out) {
   const std::size_t n = grad_out.dim(0);
   assert(grad_out.dim(1) == out_ && input_.dim(0) == n);
+  // dx is freshly allocated and zero-initialized (Tensor fills with 0.0F),
+  // so the g == 0 fast path below may skip whole rows without ever leaving
+  // stale values behind — the skipped contributions are exactly zero.
   Tensor dx({n, in_});
-  float* dw = weight_.grad.data();
-  float* db = bias_.grad.data();
   const float* w = weight_.value.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* gi = grad_out.data() + i * out_;
-    const float* xi = input_.data() + i * in_;
-    float* dxi = dx.data() + i * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float g = gi[o];
-      if (g == 0.0F) continue;
-      db[o] += g;
-      float* dwo = dw + o * in_;
-      const float* wo = w + o * in_;
-      for (std::size_t k = 0; k < in_; ++k) {
-        dwo[k] += g * xi[k];
-        dxi[k] += g * wo[k];
+
+  // Accumulate sample range [lo, hi): dx rows are written outright (owned
+  // by the range); dw/db accumulate into the supplied buffers.
+  const auto accumulate = [&](std::size_t lo, std::size_t hi, float* dw,
+                              float* db) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* gi = grad_out.data() + i * out_;
+      const float* xi = input_.data() + i * in_;
+      float* dxi = dx.data() + i * in_;
+      for (std::size_t o = 0; o < out_; ++o) {
+        const float g = gi[o];
+        if (g == 0.0F) continue;
+        db[o] += g;
+        float* dwo = dw + o * in_;
+        const float* wo = w + o * in_;
+        for (std::size_t k = 0; k < in_; ++k) {
+          dwo[k] += g * xi[k];
+          dxi[k] += g * wo[k];
+        }
       }
     }
+  };
+
+  const std::size_t ops = n * out_ * in_;
+  if (n < 2 || ops < kParallelOps) {
+    accumulate(0, n, weight_.grad.data(), bias_.grad.data());
+    return dx;
+  }
+
+  // Batch-sharded: each shard owns a dw/db partial; the partials reduce
+  // into the real gradients in ascending shard order below, so the result
+  // is bit-identical for any thread count.
+  const std::size_t shards = std::min(n, kGradShards);
+  std::vector<std::vector<float>> dw_part(
+      shards, std::vector<float>(out_ * in_, 0.0F));
+  std::vector<std::vector<float>> db_part(shards,
+                                          std::vector<float>(out_, 0.0F));
+  util::parallel_for(shards, [&](std::size_t s) {
+    accumulate(shard_lo(s, shards, n), shard_lo(s + 1, shards, n),
+               dw_part[s].data(), db_part[s].data());
+  });
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t e = 0; e < out_ * in_; ++e) dw[e] += dw_part[s][e];
+    for (std::size_t o = 0; o < out_; ++o) db[o] += db_part[s][o];
   }
   return dx;
 }
@@ -112,7 +164,8 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   Tensor y({batch_, out_c_, oh, ow});
   const float* w = weight_.value.data();
   const float* b = bias_.value.data();
-  for (std::size_t bi = 0; bi < batch_; ++bi) {
+  // Each sample writes a disjoint output slice — bit-identical when sharded.
+  shard_loop(batch_, batch_ * oh * ow * out_c_ * patch, [&](std::size_t bi) {
     for (std::size_t p = 0; p < oh * ow; ++p) {
       const float* col = cols_.data() + (bi * oh * ow + p) * patch;
       for (std::size_t oc = 0; oc < out_c_; ++oc) {
@@ -122,7 +175,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
         y.data()[((bi * out_c_ + oc) * oh * ow) + p] = acc;
       }
     }
-  }
+  });
   return y;
 }
 
@@ -132,26 +185,55 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t patch = geom_.patch_size();
   assert(grad_out.dim(0) == batch_ && grad_out.dim(1) == out_c_);
 
+  // dcols is zero-initialized, so g == 0 skips leave exact zeros behind.
   Tensor dcols({batch_ * oh * ow, patch});
-  float* dw = weight_.grad.data();
-  float* db = bias_.grad.data();
   const float* w = weight_.value.data();
-  for (std::size_t bi = 0; bi < batch_; ++bi) {
-    for (std::size_t p = 0; p < oh * ow; ++p) {
-      const float* col = cols_.data() + (bi * oh * ow + p) * patch;
-      float* dcol = dcols.data() + (bi * oh * ow + p) * patch;
-      for (std::size_t oc = 0; oc < out_c_; ++oc) {
-        const float g = grad_out.data()[((bi * out_c_ + oc) * oh * ow) + p];
-        if (g == 0.0F) continue;
-        db[oc] += g;
-        float* dwo = dw + oc * patch;
-        const float* wo = w + oc * patch;
-        for (std::size_t k = 0; k < patch; ++k) {
-          dwo[k] += g * col[k];
-          dcol[k] += g * wo[k];
+
+  // Accumulate sample range [lo, hi): dcol patches are owned by the range;
+  // dw/db accumulate into the supplied buffers.
+  const auto accumulate = [&](std::size_t lo, std::size_t hi, float* dw,
+                              float* db) {
+    for (std::size_t bi = lo; bi < hi; ++bi) {
+      for (std::size_t p = 0; p < oh * ow; ++p) {
+        const float* col = cols_.data() + (bi * oh * ow + p) * patch;
+        float* dcol = dcols.data() + (bi * oh * ow + p) * patch;
+        for (std::size_t oc = 0; oc < out_c_; ++oc) {
+          const float g = grad_out.data()[((bi * out_c_ + oc) * oh * ow) + p];
+          if (g == 0.0F) continue;
+          db[oc] += g;
+          float* dwo = dw + oc * patch;
+          const float* wo = w + oc * patch;
+          for (std::size_t k = 0; k < patch; ++k) {
+            dwo[k] += g * col[k];
+            dcol[k] += g * wo[k];
+          }
         }
       }
     }
+  };
+
+  const std::size_t ops = batch_ * oh * ow * out_c_ * patch;
+  if (batch_ < 2 || ops < kParallelOps) {
+    accumulate(0, batch_, weight_.grad.data(), bias_.grad.data());
+    return tensor::col2im(dcols, geom_, batch_);
+  }
+
+  // Batch-sharded GEMM loop with per-shard dw/db partials reduced in fixed
+  // ascending-shard order: bit-identical for any thread count.
+  const std::size_t shards = std::min(batch_, kGradShards);
+  std::vector<std::vector<float>> dw_part(
+      shards, std::vector<float>(out_c_ * patch, 0.0F));
+  std::vector<std::vector<float>> db_part(shards,
+                                          std::vector<float>(out_c_, 0.0F));
+  util::parallel_for(shards, [&](std::size_t s) {
+    accumulate(shard_lo(s, shards, batch_), shard_lo(s + 1, shards, batch_),
+               dw_part[s].data(), db_part[s].data());
+  });
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t e = 0; e < out_c_ * patch; ++e) dw[e] += dw_part[s][e];
+    for (std::size_t oc = 0; oc < out_c_; ++oc) db[oc] += db_part[s][oc];
   }
   return tensor::col2im(dcols, geom_, batch_);
 }
@@ -178,7 +260,9 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool /*train*/) {
   const std::size_t oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
   const std::size_t ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
   Tensor y({n, channels_, oh, ow});
-  for (std::size_t b = 0; b < n; ++b) {
+  // Each sample writes a disjoint output slice — bit-identical when sharded.
+  shard_loop(n, n * channels_ * oh * ow * kernel_ * kernel_,
+             [&](std::size_t b) {
     for (std::size_t c = 0; c < channels_; ++c) {
       const float* wc = weight_.value.data() + c * kernel_ * kernel_;
       for (std::size_t oy = 0; oy < oh; ++oy) {
@@ -201,7 +285,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool /*train*/) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -212,10 +296,16 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
   const std::size_t oh = grad_out.dim(2);
   const std::size_t ow = grad_out.dim(3);
   Tensor dx(input_.shape());
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t c = 0; c < channels_; ++c) {
-      const float* wc = weight_.value.data() + c * kernel_ * kernel_;
-      float* dwc = weight_.grad.data() + c * kernel_ * kernel_;
+  // Depthwise gradients are fully channel-separable: channel c alone owns
+  // dw[c], db[c], and the (·, c, ·, ·) slice of dx, so sharding over
+  // channels needs no partial buffers.  Per channel the samples run in
+  // ascending order — the same per-accumulator addition sequence as the
+  // serial b-outer/c-inner loop, so the result is bit-identical.
+  shard_loop(channels_, n * channels_ * oh * ow * kernel_ * kernel_,
+             [&](std::size_t c) {
+    const float* wc = weight_.value.data() + c * kernel_ * kernel_;
+    float* dwc = weight_.grad.data() + c * kernel_ * kernel_;
+    for (std::size_t b = 0; b < n; ++b) {
       for (std::size_t oy = 0; oy < oh; ++oy) {
         for (std::size_t ox = 0; ox < ow; ++ox) {
           const float g = grad_out.at4(b, c, oy, ox);
@@ -238,7 +328,7 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
         }
       }
     }
-  }
+  });
   return dx;
 }
 
@@ -268,7 +358,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     // Channel totals accumulate per-sample partial sums in ascending batch
     // order — the same additions as the serial loop, so sharding over
     // channels is bit-identical.
-    forward_shard(channels_, n * channels_ * hw, [&](std::size_t c) {
+    shard_loop(channels_, n * channels_ * hw, [&](std::size_t c) {
       float total = 0.0F;
       for (std::size_t b = 0; b < n; ++b) {
         const float* px = x.data() + (b * channels_ + c) * hw;
@@ -278,7 +368,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       }
       batch_mean_[c] = total / count;
     });
-    forward_shard(channels_, n * channels_ * hw, [&](std::size_t c) {
+    shard_loop(channels_, n * channels_ * hw, [&](std::size_t c) {
       float total = 0.0F;
       for (std::size_t b = 0; b < n; ++b) {
         const float* px = x.data() + (b * channels_ + c) * hw;
@@ -305,7 +395,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
 
   normalized_ = Tensor(x.shape());
   Tensor y(x.shape());
-  forward_shard(n, n * channels_ * hw, [&](std::size_t b) {
+  shard_loop(n, n * channels_ * hw, [&](std::size_t b) {
     for (std::size_t c = 0; c < channels_; ++c) {
       const float* px = x.data() + (b * channels_ + c) * hw;
       float* pn = normalized_.data() + (b * channels_ + c) * hw;
@@ -329,7 +419,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const auto count = static_cast<float>(n * hw);
   Tensor dx(grad_out.shape());
 
-  for (std::size_t c = 0; c < channels_; ++c) {
+  // Channel c alone owns gamma/beta grads [c] and the (·, c, ·, ·) slice of
+  // dx, and the per-channel reductions run in the serial order, so sharding
+  // over channels is bit-identical to the serial loop.
+  shard_loop(channels_, n * channels_ * hw, [&](std::size_t c) {
     float sum_g = 0.0F;
     float sum_gx = 0.0F;
     for (std::size_t b = 0; b < n; ++b) {
@@ -358,7 +451,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
         }
       }
     }
-  }
+  });
   return dx;
 }
 
@@ -424,7 +517,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   const std::size_t ow = w / window_;
   Tensor y({n, c, oh, ow});
   argmax_.assign(n * c * oh * ow, 0);
-  forward_shard(n, n * c * h * w, [&](std::size_t b) {
+  shard_loop(n, n * c * h * w, [&](std::size_t b) {
     std::size_t out_i = b * c * oh * ow;
     for (std::size_t ch = 0; ch < c; ++ch) {
       for (std::size_t oy = 0; oy < oh; ++oy) {
@@ -454,9 +547,15 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
   Tensor dx(in_shape_);
-  for (std::size_t i = 0; i < grad_out.size(); ++i) {
-    dx[argmax_[i]] += grad_out[i];
-  }
+  // The argmax of an output element always lies inside that sample's input
+  // slice, so sharding the scatter over samples keeps writes disjoint.
+  const std::size_t n = in_shape_[0];
+  const std::size_t per_sample = grad_out.size() / n;
+  shard_loop(n, grad_out.size(), [&](std::size_t b) {
+    for (std::size_t i = b * per_sample; i < (b + 1) * per_sample; ++i) {
+      dx[argmax_[i]] += grad_out[i];
+    }
+  });
   return dx;
 }
 
@@ -469,7 +568,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   const std::size_t c = x.dim(1);
   const std::size_t hw = x.dim(2) * x.dim(3);
   Tensor y({n, c});
-  forward_shard(n, n * c * hw, [&](std::size_t b) {
+  shard_loop(n, n * c * hw, [&](std::size_t b) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* px = x.data() + (b * c + ch) * hw;
       float acc = 0.0F;
@@ -485,13 +584,13 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   const std::size_t n = in_shape_[0];
   const std::size_t c = in_shape_[1];
   const std::size_t hw = in_shape_[2] * in_shape_[3];
-  for (std::size_t b = 0; b < n; ++b) {
+  shard_loop(n, n * c * hw, [&](std::size_t b) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float g = grad_out.at2(b, ch) / static_cast<float>(hw);
       float* pd = dx.data() + (b * c + ch) * hw;
       for (std::size_t i = 0; i < hw; ++i) pd[i] = g;
     }
-  }
+  });
   return dx;
 }
 

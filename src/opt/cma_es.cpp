@@ -208,16 +208,26 @@ void CmaEs::tell(const std::vector<std::vector<double>>& candidates,
   sigma_ = std::clamp(sigma_, 1e-12, 1e6);
 }
 
-CmaEsResult CmaEs::optimize(
-    const std::function<double(const std::vector<double>&)>& objective) {
+CmaEsResult CmaEs::optimize(const Objective& objective) {
+  // Ascending-order serial evaluation, so stateful objectives (e.g. query
+  // counters) see the same call sequence as the pre-batched interface.
+  return optimize(BatchObjective(
+      [&](const std::vector<std::vector<double>>& candidates) {
+        std::vector<double> fitness(candidates.size());
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          fitness[i] = objective(candidates[i]);
+        }
+        return fitness;
+      }));
+}
+
+CmaEsResult CmaEs::optimize(const BatchObjective& batch_objective) {
   double prev_best = 1e300;
   std::size_t stall = 0;
   while (evaluations_ < config_.max_evaluations) {
     auto candidates = ask();
-    std::vector<double> fitness(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      fitness[i] = objective(candidates[i]);
-    }
+    std::vector<double> fitness = batch_objective(candidates);
+    assert(fitness.size() == candidates.size());
     tell(candidates, fitness);
     if (config_.stall_generations > 0) {
       if (prev_best - best_f_ > config_.tol) {

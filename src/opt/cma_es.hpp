@@ -46,6 +46,14 @@ struct CmaEsResult {
 
 class CmaEs {
  public:
+  using Objective = std::function<double(const std::vector<double>&)>;
+  /// Receives one whole generation's candidate vector at a time and returns
+  /// fitness[i] for candidates[i].  Gives the caller the full generation to
+  /// fan out over threads / model replicas; CMA-ES itself only needs the
+  /// final per-candidate values, so any evaluation schedule is admissible.
+  using BatchObjective = std::function<std::vector<double>(
+      const std::vector<std::vector<double>>&)>;
+
   CmaEs(CmaEsConfig config, std::vector<double> x0);
 
   /// Sample lambda candidate solutions.
@@ -60,10 +68,17 @@ class CmaEs {
   [[nodiscard]] const std::vector<double>& best_x() const { return best_x_; }
   [[nodiscard]] double best_f() const { return best_f_; }
   [[nodiscard]] std::size_t evaluations() const { return evaluations_; }
+  /// Population size per generation (resolved from config.lambda).
+  [[nodiscard]] std::size_t lambda() const { return lambda_; }
 
-  /// Run the full ask/tell loop against an objective.
-  CmaEsResult optimize(
-      const std::function<double(const std::vector<double>&)>& objective);
+  /// Run the full ask/tell loop against an objective, one candidate at a
+  /// time (evaluated in ascending candidate order).
+  CmaEsResult optimize(const Objective& objective);
+
+  /// Run the full ask/tell loop handing each generation's candidates to the
+  /// caller at once.  With a zero evaluation budget no generation runs and
+  /// the result reports best_f = +huge (never a fabricated perfect loss).
+  CmaEsResult optimize(const BatchObjective& batch_objective);
 
  private:
   void update_eigensystem();

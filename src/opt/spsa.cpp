@@ -9,11 +9,28 @@ namespace bprom::opt {
 SpsaResult spsa_minimize(
     const SpsaConfig& config, std::vector<double> x0,
     const std::function<double(const std::vector<double>&)>& objective) {
+  // Ascending-order serial evaluation, so stateful objectives (e.g. query
+  // counters) see the same call sequence as the pre-batched interface.
+  return spsa_minimize(
+      config, std::move(x0),
+      SpsaBatchObjective([&](const std::vector<std::vector<double>>& xs) {
+        std::vector<double> fs(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) fs[i] = objective(xs[i]);
+        return fs;
+      }));
+}
+
+SpsaResult spsa_minimize(const SpsaConfig& config, std::vector<double> x0,
+                         const SpsaBatchObjective& batch_objective) {
   util::Rng rng(config.seed);
   const std::size_t n = x0.size();
   SpsaResult result;
   result.best_x = x0;
-  result.best_f = objective(x0);
+  // A zero budget evaluates nothing; report +huge, not a perfect loss.
+  result.best_f = 1e300;
+  result.evaluations = 0;
+  if (config.max_evaluations == 0) return result;
+  result.best_f = batch_objective({x0}).at(0);
   result.evaluations = 1;
 
   std::vector<double> x = std::move(x0);
@@ -31,8 +48,9 @@ SpsaResult spsa_minimize(
       xp[i] = x[i] + ck * delta[i];
       xm[i] = x[i] - ck * delta[i];
     }
-    const double fp = objective(xp);
-    const double fm = objective(xm);
+    const std::vector<double> fs = batch_objective({xp, xm});
+    const double fp = fs.at(0);
+    const double fm = fs.at(1);
     result.evaluations += 2;
     for (std::size_t i = 0; i < n; ++i) {
       const double ghat = (fp - fm) / (2.0 * ck * delta[i]);

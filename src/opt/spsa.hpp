@@ -24,8 +24,20 @@ struct SpsaResult {
   std::size_t evaluations = 0;
 };
 
+/// Receives every point one SPSA step needs at once — the initial {x0},
+/// then {x+, x-} per iteration — and returns the objective value for each.
+/// Lets the caller evaluate the pair on two model replicas in parallel.
+using SpsaBatchObjective = std::function<std::vector<double>(
+    const std::vector<std::vector<double>>&)>;
+
 SpsaResult spsa_minimize(
     const SpsaConfig& config, std::vector<double> x0,
     const std::function<double(const std::vector<double>&)>& objective);
+
+/// Batched-objective overload.  With a zero evaluation budget nothing is
+/// evaluated and the result reports best_f = +huge, evaluations = 0 (never
+/// a fabricated perfect loss).
+SpsaResult spsa_minimize(const SpsaConfig& config, std::vector<double> x0,
+                         const SpsaBatchObjective& batch_objective);
 
 }  // namespace bprom::opt

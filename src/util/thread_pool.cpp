@@ -65,10 +65,28 @@ bool ThreadPool::try_run_one() {
   return true;
 }
 
+namespace {
+// Innermost live ScopedPoolOverride target; atomic only so default_pool()
+// reads race-free against workers that consult it mid-flight.
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+}  // namespace
+
+ScopedPoolOverride::ScopedPoolOverride(ThreadPool& pool)
+    : previous_(g_pool_override.exchange(&pool)) {}
+
+ScopedPoolOverride::~ScopedPoolOverride() {
+  g_pool_override.store(previous_);
+}
+
+ThreadPool& default_pool() {
+  ThreadPool* override = g_pool_override.load();
+  return override != nullptr ? *override : global_pool();
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
   if (n == 0) return;
-  ThreadPool* p = pool != nullptr ? pool : &global_pool();
+  ThreadPool* p = pool != nullptr ? pool : &default_pool();
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};

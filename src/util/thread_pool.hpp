@@ -45,13 +45,13 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run body(i) for i in [0, n) across the given pool (defaults to the global
-/// pool).  The calling thread participates in the work, so nested calls from
-/// pool workers cannot deadlock, and a 1-thread pool degrades to a serial
-/// loop.  Each index is executed exactly once with disjoint outputs left to
-/// the body, so results are independent of thread count whenever the body is
-/// deterministic per index.  Rethrows the first exception encountered; once a
-/// body throws, remaining indices are abandoned.
+/// Run body(i) for i in [0, n) across the given pool (defaults to
+/// default_pool()).  The calling thread participates in the work, so nested
+/// calls from pool workers cannot deadlock, and a 1-thread pool degrades to a
+/// serial loop.  Each index is executed exactly once with disjoint outputs
+/// left to the body, so results are independent of thread count whenever the
+/// body is deterministic per index.  Rethrows the first exception
+/// encountered; once a body throws, remaining indices are abandoned.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool = nullptr);
 
@@ -59,5 +59,31 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
 /// BPROM_THREADS environment variable; unset or 0 means
 /// hardware_concurrency.
 ThreadPool& global_pool();
+
+/// The pool parallel_for uses when no explicit pool is passed: the pool
+/// installed by the innermost live ScopedPoolOverride, or the global pool
+/// when none is installed.  Code that only needs a parallelism estimate
+/// (e.g. how many model replicas to clone) should size off
+/// default_pool().size().
+ThreadPool& default_pool();
+
+/// Reroute parallel_for's implicit pool for the lifetime of this object.
+/// Lets one process run the same code path under several thread counts —
+/// the determinism tests drive layer backward passes and CMA-ES candidate
+/// evaluation with 1-, 2-, and 8-thread pools this way.  Overrides nest
+/// (destruction restores the previous override).  Install and remove only
+/// from the thread that owns the parallel region, while no implicit-pool
+/// work is in flight.
+class ScopedPoolOverride {
+ public:
+  explicit ScopedPoolOverride(ThreadPool& pool);
+  ~ScopedPoolOverride();
+
+  ScopedPoolOverride(const ScopedPoolOverride&) = delete;
+  ScopedPoolOverride& operator=(const ScopedPoolOverride&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
 
 }  // namespace bprom::util

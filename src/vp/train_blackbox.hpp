@@ -32,7 +32,15 @@ struct BlackBoxPromptConfig {
 struct BlackBoxPromptResult {
   VisualPrompt prompt;
   double final_loss = 0.0;
+  /// Exact total queries issued while learning — those served by `model`
+  /// itself plus those served by internal replicate() copies when candidate
+  /// evaluation fans out over threads.
   std::size_t queries = 0;
+  /// The subset of `queries` served by internal replicas.  These never show
+  /// up on the caller's model counter, so callers that track query budgets
+  /// through their own counters must add this back (BpromDetector::inspect
+  /// does) to stay exact.
+  std::size_t replica_queries = 0;
 };
 
 /// Learn theta with CMA-ES; the objective is the cross-entropy of the

@@ -88,6 +88,83 @@ TEST(CmaEs, AskTellInterface) {
   EXPECT_LT(solver.best_f(), sphere(std::vector<double>(3, 1.0)));
 }
 
+TEST(CmaEs, BatchedObjectiveMatchesScalarBitwise) {
+  CmaEsConfig cfg;
+  cfg.dim = 6;
+  cfg.max_evaluations = 600;
+  CmaEs scalar_solver(cfg, std::vector<double>(6, 1.0));
+  auto scalar = scalar_solver.optimize(sphere);
+
+  std::size_t batches = 0;
+  CmaEs batch_solver(cfg, std::vector<double>(6, 1.0));
+  auto batched = batch_solver.optimize(CmaEs::BatchObjective(
+      [&](const std::vector<std::vector<double>>& candidates) {
+        ++batches;
+        EXPECT_EQ(candidates.size(), batch_solver.lambda());
+        std::vector<double> fitness(candidates.size());
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          fitness[i] = sphere(candidates[i]);
+        }
+        return fitness;
+      }));
+
+  EXPECT_EQ(scalar.best_x, batched.best_x);
+  EXPECT_EQ(scalar.best_f, batched.best_f);
+  EXPECT_EQ(scalar.evaluations, batched.evaluations);
+  EXPECT_EQ(scalar.generations, batched.generations);
+  EXPECT_EQ(batches, batched.generations);
+}
+
+TEST(CmaEs, ZeroBudgetReportsNoPerfectLoss) {
+  CmaEsConfig cfg;
+  cfg.dim = 3;
+  cfg.max_evaluations = 0;
+  CmaEs solver(cfg, std::vector<double>(3, 1.0));
+  auto result = solver.optimize(sphere);
+  EXPECT_EQ(result.evaluations, 0u);
+  EXPECT_EQ(result.generations, 0u);
+  EXPECT_GE(result.best_f, 1e300);  // never a fabricated perfect loss
+  EXPECT_EQ(result.best_x, std::vector<double>(3, 1.0));  // the start point
+}
+
+TEST(Spsa, BatchedObjectiveMatchesScalarBitwise) {
+  SpsaConfig cfg;
+  cfg.max_evaluations = 301;
+  auto scalar = spsa_minimize(cfg, std::vector<double>(5, 1.2), sphere);
+
+  std::size_t evaluations = 0;
+  auto batched = spsa_minimize(
+      cfg, std::vector<double>(5, 1.2),
+      SpsaBatchObjective([&](const std::vector<std::vector<double>>& xs) {
+        // First call is the lone start point, then {x+, x-} pairs.
+        EXPECT_EQ(xs.size(), evaluations == 0 ? 1u : 2u);
+        evaluations += xs.size();
+        std::vector<double> fs(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) fs[i] = sphere(xs[i]);
+        return fs;
+      }));
+
+  EXPECT_EQ(scalar.best_x, batched.best_x);
+  EXPECT_EQ(scalar.best_f, batched.best_f);
+  EXPECT_EQ(scalar.evaluations, batched.evaluations);
+  EXPECT_EQ(evaluations, batched.evaluations);
+}
+
+TEST(Spsa, ZeroBudgetEvaluatesNothing) {
+  SpsaConfig cfg;
+  cfg.max_evaluations = 0;
+  std::size_t calls = 0;
+  auto result = spsa_minimize(cfg, std::vector<double>(4, 1.0),
+                              [&](const std::vector<double>& x) {
+                                ++calls;
+                                return sphere(x);
+                              });
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(result.evaluations, 0u);
+  EXPECT_GE(result.best_f, 1e300);
+  EXPECT_EQ(result.best_x, std::vector<double>(4, 1.0));
+}
+
 TEST(Spsa, MinimizesSphere) {
   SpsaConfig cfg;
   cfg.max_evaluations = 3000;

@@ -1,13 +1,24 @@
-// Determinism regression for the parallel shadow pipeline: the same root
-// seed must yield bit-identical detectors, diagnostics, and population
-// scores no matter how many pool threads execute the work.
+// Determinism regression for the parallel pipeline: the same root seed
+// must yield bit-identical detectors, diagnostics, population scores,
+// layer gradients, trained weights, learned prompts, and query counts no
+// matter how many pool threads execute the work.  ScopedPoolOverride lets
+// one process drive the implicit-pool code paths (layer forward/backward
+// sharding, CMA-ES candidate evaluation) under several thread counts.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/experiment.hpp"
+#include "nn/layers.hpp"
+#include "nn/trainer.hpp"
 #include "util/thread_pool.hpp"
+#include "vp/train_blackbox.hpp"
 
 namespace bprom {
 namespace {
+
+// The thread counts the CI matrix cares about: serial, small, oversubscribed.
+const std::size_t kThreadCounts[] = {1, 2, 8};
 
 core::ExperimentScale micro_scale() {
   core::ExperimentScale s;
@@ -80,6 +91,125 @@ TEST(ParallelDeterminism, PopulationAndScoresMatchAcrossThreadCounts) {
   ASSERT_EQ(scores_serial.scores.size(), scores_parallel.scores.size());
   for (std::size_t i = 0; i < scores_serial.scores.size(); ++i) {
     EXPECT_DOUBLE_EQ(scores_serial.scores[i], scores_parallel.scores[i]);
+  }
+}
+
+// Gradients of every sharded backward pass must be bit-identical for any
+// thread count.  Sizes are chosen to clear the layers.cpp op-count gate so
+// the parallel paths (per-shard dw/db partials for Linear/Conv2d,
+// channel-owned accumulators for depthwise/batchnorm) actually execute.
+TEST(ParallelDeterminism, BackwardGradientsMatchAcrossThreadCounts) {
+  struct GradRun {
+    std::vector<std::vector<float>> grads;  // per parameter, flattened
+    std::vector<float> dx;
+  };
+
+  const auto run_layer = [](auto make_layer, const std::vector<std::size_t>&
+                                                 in_shape) {
+    std::vector<GradRun> runs;
+    for (const std::size_t threads : kThreadCounts) {
+      util::ThreadPool pool(threads);
+      util::ScopedPoolOverride overridden(pool);
+      util::Rng wrng(11);
+      auto layer = make_layer(wrng);
+      util::Rng xrng(12);
+      nn::Tensor x = nn::Tensor::randn(in_shape, xrng);
+      nn::Tensor y = layer->forward(x, /*train=*/true);
+      util::Rng grng(13);
+      nn::Tensor g = nn::Tensor::randn(y.shape(), grng);
+      nn::Tensor dx = layer->backward(g);
+      GradRun run;
+      for (nn::Parameter* p : layer->parameters()) {
+        run.grads.push_back(p->grad.vec());
+      }
+      run.dx = dx.vec();
+      runs.push_back(std::move(run));
+    }
+    for (std::size_t t = 1; t < runs.size(); ++t) {
+      ASSERT_EQ(runs[0].grads.size(), runs[t].grads.size());
+      for (std::size_t p = 0; p < runs[0].grads.size(); ++p) {
+        EXPECT_EQ(runs[0].grads[p], runs[t].grads[p])
+            << "param " << p << " at " << kThreadCounts[t] << " threads";
+      }
+      EXPECT_EQ(runs[0].dx, runs[t].dx)
+          << "dx at " << kThreadCounts[t] << " threads";
+    }
+  };
+
+  run_layer(
+      [](util::Rng& rng) { return std::make_unique<nn::Linear>(256, 256, rng); },
+      {64, 256});
+  run_layer(
+      [](util::Rng& rng) {
+        return std::make_unique<nn::Conv2d>(8, 16, 3, 1, 1, rng);
+      },
+      {32, 8, 16, 16});
+  run_layer(
+      [](util::Rng& rng) {
+        return std::make_unique<nn::DepthwiseConv2d>(16, 3, 1, 1, rng);
+      },
+      {64, 16, 16, 16});
+  run_layer(
+      [](util::Rng&) { return std::make_unique<nn::BatchNorm2d>(32); },
+      {64, 32, 32, 32});
+}
+
+// End-to-end: a full training run (forward + backward + SGD) must produce
+// bit-identical weights for any thread count behind the implicit pool.
+TEST(ParallelDeterminism, TrainedWeightsMatchAcrossThreadCounts) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 21, 300, 100);
+  std::vector<std::vector<float>> blobs;
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    util::ScopedPoolOverride overridden(pool);
+    util::Rng rng(31);
+    auto model = nn::make_model(nn::ArchKind::kResNet18Mini,
+                                src.profile.shape, src.profile.classes, rng);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.seed = 77;
+    nn::train_classifier(*model, src.train, tc);
+    blobs.push_back(model->save_parameters());
+  }
+  for (std::size_t t = 1; t < blobs.size(); ++t) {
+    EXPECT_EQ(blobs[0], blobs[t])
+        << "weights diverge at " << kThreadCounts[t] << " threads";
+  }
+}
+
+// Black-box prompt learning fans CMA-ES generations (and SPSA pairs) out
+// over model replicas: theta, loss, and the exact query count must not
+// depend on the thread count.
+TEST(ParallelDeterminism, BlackBoxPromptMatchesAcrossThreadCounts) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 22, 300, 100);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 23, 200, 100);
+  util::Rng mrng(41);
+  auto model = nn::make_model(nn::ArchKind::kResNet18Mini, src.profile.shape,
+                              src.profile.classes, mrng);
+
+  for (const auto optimizer :
+       {vp::BlackBoxOptimizer::kCmaEs, vp::BlackBoxOptimizer::kSpsa}) {
+    std::vector<vp::BlackBoxPromptResult> results;
+    for (const std::size_t threads : kThreadCounts) {
+      util::ThreadPool pool(threads);
+      util::ScopedPoolOverride overridden(pool);
+      nn::BlackBoxAdapter box(*model);
+      vp::BlackBoxPromptConfig cfg;
+      cfg.optimizer = optimizer;
+      cfg.eval_samples = 16;
+      cfg.max_evaluations = 60;
+      cfg.seed = 5;
+      results.push_back(vp::learn_prompt_blackbox(box, tgt.train, cfg));
+    }
+    for (std::size_t t = 1; t < results.size(); ++t) {
+      EXPECT_EQ(results[0].prompt.theta(), results[t].prompt.theta())
+          << "theta diverges at " << kThreadCounts[t] << " threads";
+      EXPECT_EQ(results[0].final_loss, results[t].final_loss);
+      EXPECT_EQ(results[0].queries, results[t].queries)
+          << "query accounting diverges at " << kThreadCounts[t]
+          << " threads";
+    }
+    EXPECT_GT(results[0].queries, 0u);
   }
 }
 

@@ -131,6 +131,45 @@ TEST(Gradients, ParameterGradientMatchesFiniteDifference) {
   }
 }
 
+// Regression for the g == 0 fast path in Linear::backward: rows whose
+// output gradient is entirely zero contribute nothing, and dx must come
+// back exactly zero there — freshly zero-initialized, never stale values
+// from an earlier backward through the same layer.
+TEST(Gradients, LinearZeroGradRowsYieldExactZeroDx) {
+  util::Rng rng(6);
+  Linear fc(8, 4, rng);
+  Tensor x = Tensor::randn({3, 8}, rng);
+
+  // First pass with dense gradients dirties any internal accumulation.
+  (void)fc.forward(x, true);
+  Tensor g1 = Tensor::randn({3, 4}, rng);
+  (void)fc.backward(g1);
+
+  // Second pass: the middle sample's gradient row is all zero.
+  (void)fc.forward(x, true);
+  Tensor g2 = Tensor::randn({3, 4}, rng);
+  for (std::size_t o = 0; o < 4; ++o) g2.at2(1, o) = 0.0F;
+  Tensor dx = fc.backward(g2);
+
+  const Tensor& w = fc.parameters()[0]->value;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      // Reference accumulated in the same order (ascending o, zero rows
+      // skipped) so the comparison is bit-exact.
+      float ref = 0.0F;
+      for (std::size_t o = 0; o < 4; ++o) {
+        const float g = g2.at2(i, o);
+        if (g == 0.0F) continue;
+        ref += g * w.at2(o, k);
+      }
+      EXPECT_EQ(dx.at2(i, k), ref) << "dx[" << i << "][" << k << "]";
+    }
+  }
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(dx.at2(1, k), 0.0F) << "stale value leaked into zero row";
+  }
+}
+
 TEST(Loss, SoftmaxRowsSumToOne) {
   util::Rng rng(6);
   Tensor logits = Tensor::randn({4, 5}, rng, 2.0F);
