@@ -4,6 +4,7 @@
 int main() {
   using namespace bench;
   util::Stopwatch clock;
+  BenchReport report("table05_main_auroc");
   auto env = Env::make();
   const auto arch = nn::ArchKind::kResNet18Mini;
   const std::vector<defenses::DefenseKind> baselines = {
@@ -18,29 +19,37 @@ int main() {
     for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
     header.push_back("AVG");
     util::TablePrinter table(header);
-    for (auto d : baselines) {
-      std::vector<std::string> row = {defenses::defense_name(d)};
+    const auto cells =
+        baseline_grid(baselines, *src, main_attacks(), arch, 100, env.scale);
+    report.add_cells(*src, cells);
+    print_elapsed(clock, "baseline grid");
+    for (std::size_t d = 0; d < baselines.size(); ++d) {
+      std::vector<std::string> row = {defenses::defense_name(baselines[d])};
       double avg = 0;
-      for (auto a : main_attacks()) {
-        auto eval = baseline_cell(d, *src, a, arch, 100 + (int)a, env.scale);
+      for (std::size_t a = 0; a < main_attacks().size(); ++a) {
+        const auto& eval = cells[d * main_attacks().size() + a].eval;
         row.push_back(util::cell(eval.auroc));
         avg += eval.auroc;
       }
       row.push_back(util::cell(avg / main_attacks().size()));
       table.add_row(row);
-      print_elapsed(clock, defenses::defense_name(d).c_str());
     }
+    util::Stopwatch fit_clock;
     auto detector = core::fit_detector(*src, env.stl10, 0.10, arch, 7, env.scale);
+    report.add_cell(src->profile.name + "/bprom/fit", fit_clock.seconds());
     print_elapsed(clock, "BPROM detector fitted");
     std::vector<std::string> row = {"BPROM (10%)"};
     double avg = 0;
+    util::Stopwatch row_clock;
     for (const auto& cell : bprom_row(detector, *src, arch, 300, env.scale)) {
       row.push_back(util::cell(cell.auroc));
       avg += cell.auroc;
     }
+    report.add_cell(src->profile.name + "/bprom/row", row_clock.seconds());
     row.push_back(util::cell(avg / main_attacks().size()));
     table.add_row(row);
     table.print();
   }
+  report.write();
   return 0;
 }

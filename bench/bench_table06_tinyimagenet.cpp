@@ -2,24 +2,29 @@
 #include "common.hpp"
 int main() {
   using namespace bench;
+  BenchReport report("table06_tinyimagenet");
   auto env = Env::make();
   auto tiny = data::make_dataset(data::DatasetKind::kTinyImageNet, 1);
   const std::vector<attacks::AttackKind> kinds = {
       attacks::AttackKind::kBadNets, attacks::AttackKind::kBlend,
       attacks::AttackKind::kTrojan, attacks::AttackKind::kWaNet,
       attacks::AttackKind::kAdapBlend, attacks::AttackKind::kAdapPatch};
+  const std::vector<defenses::DefenseKind> baselines = {
+      defenses::DefenseKind::kStrip, defenses::DefenseKind::kScan,
+      defenses::DefenseKind::kScaleUp, defenses::DefenseKind::kCd,
+      defenses::DefenseKind::kMmBd};
   for (auto arch : {nn::ArchKind::kResNet18Mini, nn::ArchKind::kMobileNetV2Mini}) {
     std::vector<std::string> header = {"defense"};
     for (auto a : kinds) header.push_back(attacks::attack_name(a));
     header.push_back("AVG");
     util::TablePrinter table(header);
-    for (auto d : {defenses::DefenseKind::kStrip, defenses::DefenseKind::kScan,
-                   defenses::DefenseKind::kScaleUp, defenses::DefenseKind::kCd,
-                   defenses::DefenseKind::kMmBd}) {
-      std::vector<std::string> row = {defenses::defense_name(d)};
+    const auto cells = baseline_grid(baselines, tiny, kinds, arch, 210, env.scale);
+    report.add_cells(tiny, cells, nn::arch_name(arch));
+    for (std::size_t d = 0; d < baselines.size(); ++d) {
+      std::vector<std::string> row = {defenses::defense_name(baselines[d])};
       double avg = 0;
-      for (auto a : kinds) {
-        auto eval = baseline_cell(d, tiny, a, arch, 210 + (int)a, env.scale);
+      for (std::size_t a = 0; a < kinds.size(); ++a) {
+        const auto& eval = cells[d * kinds.size() + a].eval;
         row.push_back(util::cell(eval.auroc));
         avg += eval.auroc;
       }
@@ -39,5 +44,6 @@ int main() {
     std::printf("== Table 6 (tiny-imagenet-like, %s): AUROC ==\n", nn::arch_name(arch).c_str());
     table.print();
   }
+  report.write();
   return 0;
 }

@@ -2,20 +2,26 @@
 #include "common.hpp"
 int main() {
   using namespace bench;
+  BenchReport report("table16_f1");
   auto env = Env::make();
   const auto arch = nn::ArchKind::kResNet18Mini;
+  const std::vector<defenses::DefenseKind> baselines = {
+      defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
+      defenses::DefenseKind::kSs, defenses::DefenseKind::kScan,
+      defenses::DefenseKind::kSpectre};
   for (auto* src : {&env.cifar10, &env.gtsrb}) {
     std::vector<std::string> header = {"defense"};
     for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
     header.push_back("AVG");
     util::TablePrinter table(header);
-    for (auto d : {defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
-                   defenses::DefenseKind::kSs, defenses::DefenseKind::kScan,
-                   defenses::DefenseKind::kSpectre}) {
-      std::vector<std::string> row = {defenses::defense_name(d)};
+    const auto cells =
+        baseline_grid(baselines, *src, main_attacks(), arch, 700, env.scale);
+    report.add_cells(*src, cells);
+    for (std::size_t d = 0; d < baselines.size(); ++d) {
+      std::vector<std::string> row = {defenses::defense_name(baselines[d])};
       double avg = 0;
-      for (auto a : main_attacks()) {
-        auto eval = baseline_cell(d, *src, a, arch, 700 + (int)a, env.scale);
+      for (std::size_t a = 0; a < main_attacks().size(); ++a) {
+        const auto& eval = cells[d * main_attacks().size() + a].eval;
         row.push_back(util::cell(eval.f1));
         avg += eval.f1;
       }
@@ -37,5 +43,6 @@ int main() {
     std::printf("== Table 16 (%s): F1 ==\n", src->profile.name.c_str());
     table.print();
   }
+  report.write();
   return 0;
 }

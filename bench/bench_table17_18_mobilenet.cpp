@@ -2,18 +2,24 @@
 #include "common.hpp"
 int main() {
   using namespace bench;
+  BenchReport report("table17_18_mobilenet");
   auto env = Env::make();
   const auto arch = nn::ArchKind::kMobileNetV2Mini;
+  const std::vector<defenses::DefenseKind> baselines = {
+      defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
+      defenses::DefenseKind::kScan};
   for (auto* src : {&env.cifar10, &env.gtsrb}) {
     std::vector<std::string> header = {"method", "metric"};
     for (auto a : main_attacks()) header.push_back(attacks::attack_name(a));
     util::TablePrinter table(header);
-    for (auto d : {defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
-                   defenses::DefenseKind::kScan}) {
-      std::vector<std::string> au = {defenses::defense_name(d), "AUROC"};
-      std::vector<std::string> f1 = {defenses::defense_name(d), "F1"};
-      for (auto a : main_attacks()) {
-        auto eval = baseline_cell(d, *src, a, arch, 800 + (int)a, env.scale);
+    const auto cells =
+        baseline_grid(baselines, *src, main_attacks(), arch, 800, env.scale);
+    report.add_cells(*src, cells);
+    for (std::size_t d = 0; d < baselines.size(); ++d) {
+      std::vector<std::string> au = {defenses::defense_name(baselines[d]), "AUROC"};
+      std::vector<std::string> f1 = {defenses::defense_name(baselines[d]), "F1"};
+      for (std::size_t a = 0; a < main_attacks().size(); ++a) {
+        const auto& eval = cells[d * main_attacks().size() + a].eval;
         au.push_back(util::cell(eval.auroc));
         f1.push_back(util::cell(eval.f1));
       }
@@ -32,5 +38,6 @@ int main() {
     std::printf("== Tables 17-18 (%s, MobileNetV2Mini) ==\n", src->profile.name.c_str());
     table.print();
   }
+  report.write();
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "common.hpp"
 int main() {
   using namespace bench;
+  BenchReport report("table21_cifar100");
   auto env = Env::make();
   auto cifar100 = data::make_dataset(data::DatasetKind::kCifar100, 1);
   const auto arch = nn::ArchKind::kResNet18Mini;
@@ -10,16 +11,21 @@ int main() {
       attacks::AttackKind::kBadNets, attacks::AttackKind::kBlend,
       attacks::AttackKind::kTrojan, attacks::AttackKind::kWaNet,
       attacks::AttackKind::kAdapBlend, attacks::AttackKind::kAdapPatch};
+  const std::vector<defenses::DefenseKind> baselines = {
+      defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
+      defenses::DefenseKind::kSs, defenses::DefenseKind::kScan};
   std::vector<std::string> header = {"defense"};
   for (auto a : kinds) header.push_back(attacks::attack_name(a));
   header.push_back("AVG");
   util::TablePrinter table(header);
-  for (auto d : {defenses::DefenseKind::kStrip, defenses::DefenseKind::kFrequency,
-                 defenses::DefenseKind::kSs, defenses::DefenseKind::kScan}) {
-    std::vector<std::string> row = {defenses::defense_name(d)};
+  const auto cells =
+      baseline_grid(baselines, cifar100, kinds, arch, 950, env.scale);
+  report.add_cells(cifar100, cells);
+  for (std::size_t d = 0; d < baselines.size(); ++d) {
+    std::vector<std::string> row = {defenses::defense_name(baselines[d])};
     double avg = 0;
-    for (auto a : kinds) {
-      auto eval = baseline_cell(d, cifar100, a, arch, 950 + (int)a, env.scale);
+    for (std::size_t a = 0; a < kinds.size(); ++a) {
+      const auto& eval = cells[d * kinds.size() + a].eval;
       row.push_back(util::cell(eval.auroc));
       avg += eval.auroc;
     }
@@ -38,5 +44,6 @@ int main() {
   table.add_row(row);
   std::printf("== Table 21: K_S=20 vs K_T=10 mismatch ==\n");
   table.print();
+  report.write();
   return 0;
 }

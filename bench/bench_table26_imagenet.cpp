@@ -2,22 +2,28 @@
 #include "common.hpp"
 int main() {
   using namespace bench;
+  BenchReport report("table26_imagenet");
   auto env = Env::make();
   auto imagenet = data::make_dataset(data::DatasetKind::kImageNet, 1);
   const auto arch = nn::ArchKind::kResNet18Mini;
   const std::vector<attacks::AttackKind> kinds = {
       attacks::AttackKind::kBadNets, attacks::AttackKind::kTrojan,
       attacks::AttackKind::kAdapBlend, attacks::AttackKind::kAdapPatch};
+  const std::vector<defenses::DefenseKind> baselines = {
+      defenses::DefenseKind::kCd, defenses::DefenseKind::kScaleUp,
+      defenses::DefenseKind::kStrip};
   std::vector<std::string> header = {"defense"};
   for (auto a : kinds) header.push_back(attacks::attack_name(a));
   header.push_back("AVG");
   util::TablePrinter table(header);
-  for (auto d : {defenses::DefenseKind::kCd, defenses::DefenseKind::kScaleUp,
-                 defenses::DefenseKind::kStrip}) {
-    std::vector<std::string> row = {defenses::defense_name(d)};
+  const auto cells =
+      baseline_grid(baselines, imagenet, kinds, arch, 1300, env.scale);
+  report.add_cells(imagenet, cells);
+  for (std::size_t d = 0; d < baselines.size(); ++d) {
+    std::vector<std::string> row = {defenses::defense_name(baselines[d])};
     double avg = 0;
-    for (auto a : kinds) {
-      auto eval = baseline_cell(d, imagenet, a, arch, 1300 + (int)a, env.scale);
+    for (std::size_t a = 0; a < kinds.size(); ++a) {
+      const auto& eval = cells[d * kinds.size() + a].eval;
       row.push_back(util::cell(eval.auroc));
       avg += eval.auroc;
     }
@@ -36,5 +42,6 @@ int main() {
   table.add_row(row);
   std::printf("== Table 26: imagenet-like ==\n");
   table.print();
+  report.write();
   return 0;
 }

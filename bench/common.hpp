@@ -7,7 +7,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -128,8 +131,108 @@ inline defenses::DefenseEval baseline_cell(defenses::DefenseKind kind,
   return {};
 }
 
+/// One cell of a sharded baseline-defense grid (see baseline_grid).
+struct BaselineCell {
+  defenses::DefenseKind defense{};
+  attacks::AttackKind attack{};
+  defenses::DefenseEval eval;
+  double seconds = 0.0;
+};
+
+/// The (defense × attack) baseline cells of one table, dispatched over the
+/// pool the same way core::evaluate_grid shards the BPROM cells — each cell
+/// trains its own models and shares nothing.  Cell (d, a) keeps the exact
+/// seed the serial double loop used (`seed_base + (int)a`, shared across
+/// defenses), so the grid is bit-identical to the serial loop for any
+/// thread count.  Cells come back defense-major in the input order.
+inline std::vector<BaselineCell> baseline_grid(
+    const std::vector<defenses::DefenseKind>& defense_kinds,
+    const data::Dataset& source,
+    const std::vector<attacks::AttackKind>& attack_kinds, nn::ArchKind arch,
+    std::uint64_t seed_base, const core::ExperimentScale& scale) {
+  std::vector<BaselineCell> cells(defense_kinds.size() * attack_kinds.size());
+  util::parallel_for(cells.size(), [&](std::size_t i) {
+    BaselineCell& cell = cells[i];
+    cell.defense = defense_kinds[i / attack_kinds.size()];
+    cell.attack = attack_kinds[i % attack_kinds.size()];
+    util::Stopwatch watch;
+    cell.eval = baseline_cell(cell.defense, source, cell.attack, arch,
+                              seed_base + (int)cell.attack, scale);
+    cell.seconds = watch.seconds();
+  });
+  return cells;
+}
+
 inline void print_elapsed(const util::Stopwatch& clock, const char* what) {
   std::printf("[%7.1fs] %s\n", clock.seconds(), what);
 }
+
+/// Machine-readable bench telemetry: write() drops one `BENCH_<id>.json`
+/// (into $BPROM_BENCH_JSON_DIR, default cwd) with per-cell and whole-run
+/// wall-clock plus the thread count, so the perf trajectory of every table
+/// is tracked from PR 4 on.  Reproduced numbers stay in the printed
+/// tables — this file is timing telemetry only.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string id) : id_(std::move(id)) {}
+
+  void add_cell(std::string cell_id, double seconds) {
+    cells_.emplace_back(std::move(cell_id), seconds);
+  }
+
+  /// `group` disambiguates repeated grids over the same dataset (e.g. the
+  /// architecture when a bench sweeps several) — without it the ids would
+  /// collide and the timings be unattributable.
+  void add_cells(const data::Dataset& source,
+                 const std::vector<BaselineCell>& cells,
+                 const std::string& group = "") {
+    const std::string prefix =
+        source.profile.name + (group.empty() ? "" : "/" + group) + "/";
+    for (const auto& cell : cells) {
+      add_cell(prefix + defenses::defense_name(cell.defense) + "/" +
+                   attacks::attack_name(cell.attack),
+               cell.seconds);
+    }
+  }
+
+  /// Best-effort by design: a read-only working directory must not turn a
+  /// finished bench run into a failure.
+  void write() const {
+    const char* dir = std::getenv("BPROM_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/BENCH_" +
+        id_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << escape(id_) << "\",\n"
+        << "  \"threads\": " << util::default_pool().size() << ",\n"
+        << "  \"wall_seconds\": " << wall_.seconds() << ",\n"
+        << "  \"cells\": [";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n    {\"id\": \""
+          << escape(cells_[i].first) << "\", \"seconds\": "
+          << cells_[i].second << "}";
+    }
+    out << (cells_.empty() ? "" : "\n  ") << "]\n}\n";
+    std::printf("bench report: %s\n", path.c_str());
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string id_;
+  util::Stopwatch wall_;
+  std::vector<std::pair<std::string, double>> cells_;
+};
 
 }  // namespace bench

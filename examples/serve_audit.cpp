@@ -1,11 +1,13 @@
 // Persistence + serving walkthrough: fit once, audit many, survive restarts.
 //
-// The paper's §1 marketplace scenario as a long-lived service:
-//   1. fit a BPROM detector (the expensive shadow-population step),
-//   2. audit the marketplace in memory through serve::AuditService,
-//   3. persist the detector AND every listed model to .bprom containers,
-//   4. simulate a fresh process: reload everything through a new
-//      serve::DetectorStore and audit again,
+// The paper's §1 marketplace scenario as a long-lived service, entirely on
+// the public `bprom::api` façade:
+//   1. fit a BPROM detector (the expensive shadow-population step) and
+//      publish it as "marketplace@v1" through api::AuditEngine,
+//   2. audit the marketplace in memory (batched, status-typed responses),
+//   3. persist every listed model to .bprom containers alongside the store,
+//   4. simulate a fresh process: a new engine over the same directory
+//      reloads the detector and the models, and audits again,
 //   5. diff the two verdict sets — any drift is a format regression, and
 //      the process exits nonzero so CI fails.
 // Timing columns are wall-clock and excluded from the comparison.
@@ -15,10 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "core/experiment.hpp"
 #include "io/serialize.hpp"
-#include "serve/audit_service.hpp"
-#include "serve/detector_store.hpp"
 
 int main() {
   using namespace bprom;
@@ -26,7 +27,7 @@ int main() {
   auto src = data::make_dataset(data::DatasetKind::kCifar10, 1);
   auto tgt = data::make_dataset(data::DatasetKind::kStl10, 2);
 
-  std::printf("== serve_audit: fit -> save -> reload -> batch audit ==\n");
+  std::printf("== serve_audit: fit -> publish -> reload -> batch audit ==\n");
 
   // The marketplace: clean listings plus an assortment of attacks.
   struct Listing {
@@ -57,20 +58,31 @@ int main() {
 
   const std::string store_dir =
       (std::filesystem::temp_directory_path() / "bprom_serve_audit").string();
+  std::filesystem::remove_all(store_dir);  // versions are per-run; start clean
 
-  // --- Audit pass 1: the freshly fitted, in-memory detector. ------------
+  const auto make_requests = [&](std::vector<nn::BlackBoxAdapter>& boxes) {
+    std::vector<api::AuditRequest> requests(marketplace.size());
+    for (std::size_t i = 0; i < marketplace.size(); ++i) {
+      requests[i].model_id = "listing-" + std::to_string(i);
+      requests[i].detector = "marketplace";
+      requests[i].model = &boxes[i];
+    }
+    return requests;
+  };
+
+  // --- Audit pass 1: publish the freshly fitted detector, audit live. ---
+  api::AuditEngine engine({.store_dir = store_dir});
+  auto published = engine.publish("marketplace", std::move(detector));
+  if (!published.ok()) {
+    std::printf("FAIL: publish: %s\n", published.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("published %s\n", published.value().versioned_name().c_str());
+
   std::vector<nn::BlackBoxAdapter> live_boxes;
   live_boxes.reserve(marketplace.size());
   for (auto& listing : marketplace) live_boxes.emplace_back(*listing.model.model);
-  std::vector<serve::AuditRequest> requests;
-  for (std::size_t i = 0; i < marketplace.size(); ++i) {
-    requests.push_back({"listing-" + std::to_string(i), &live_boxes[i]});
-  }
-
-  serve::DetectorStore store(store_dir);
-  auto live_handle = store.put("marketplace", std::move(detector));
-  serve::AuditService live_service(live_handle);
-  auto live = live_service.audit(requests);
+  auto live = engine.audit(make_requests(live_boxes));
 
   // --- Persist the marketplace models themselves. -----------------------
   for (std::size_t i = 0; i < marketplace.size(); ++i) {
@@ -78,31 +90,29 @@ int main() {
                         *marketplace[i].model.model);
   }
 
-  // --- "Fresh process": reload detector + models, audit pass 2. ---------
-  serve::DetectorStore fresh_store(store_dir);
-  std::vector<std::unique_ptr<nn::BlackBoxModel>> loaded_boxes;
-  std::vector<serve::AuditRequest> reload_requests;
+  // --- "Fresh process": a new engine reloads detector + models. ---------
+  api::AuditEngine fresh_engine({.store_dir = store_dir});
+  std::vector<nn::BlackBoxAdapter> loaded_boxes;
+  loaded_boxes.reserve(marketplace.size());
   for (std::size_t i = 0; i < marketplace.size(); ++i) {
-    auto model = io::load_model_file(store_dir + "/listing-" +
-                                     std::to_string(i) + ".model");
-    loaded_boxes.push_back(
-        std::make_unique<nn::BlackBoxAdapter>(std::move(model)));
-    reload_requests.push_back(
-        {"listing-" + std::to_string(i), loaded_boxes.back().get()});
+    loaded_boxes.emplace_back(io::load_model_file(
+        store_dir + "/listing-" + std::to_string(i) + ".model"));
   }
-  serve::AuditService fresh_service(fresh_store, "marketplace");
-  auto reloaded = fresh_service.audit(reload_requests);
+  auto reloaded = fresh_engine.audit(make_requests(loaded_boxes));
 
   // --- Diff the verdicts. ----------------------------------------------
   std::printf("\n%-12s %-28s %-10s %-10s %-8s %-7s %s\n", "id", "listing",
               "live", "reloaded", "verdict", "match", "time");
   bool all_match = true;
   for (std::size_t i = 0; i < live.size(); ++i) {
-    const bool match = live[i].ok && reloaded[i].ok &&
+    const bool match = live[i].status.ok() && reloaded[i].status.ok() &&
+                       live[i].detector_version == "marketplace@v1" &&
+                       reloaded[i].detector_version == "marketplace@v1" &&
                        live[i].verdict.score == reloaded[i].verdict.score &&
                        live[i].verdict.prompted_accuracy ==
                            reloaded[i].verdict.prompted_accuracy &&
-                       live[i].verdict.backdoored == reloaded[i].verdict.backdoored;
+                       live[i].verdict.backdoored == reloaded[i].verdict.backdoored &&
+                       live[i].verdict.queries == reloaded[i].verdict.queries;
     all_match = all_match && match;
     std::printf("%-12s %-28s %-10.6f %-10.6f %-8s %-7s %.1fms\n",
                 live[i].model_id.c_str(), marketplace[i].description.c_str(),
@@ -110,13 +120,17 @@ int main() {
                 reloaded[i].verdict.backdoored ? "BACKDOOR" : "clean",
                 match ? "yes" : "NO", reloaded[i].seconds * 1e3);
   }
-  std::printf("\nstore %s holds: ", store_dir.c_str());
-  for (const auto& name : fresh_store.list()) std::printf("%s ", name.c_str());
+  std::printf("\nstore %s holds:", store_dir.c_str());
+  if (auto listed = fresh_engine.list(); listed.ok()) {
+    for (const auto& info : listed.value()) {
+      std::printf(" %s", info.versioned_name().c_str());
+    }
+  }
   std::printf("\nGround truth: listings 0-1 clean; 2-4 backdoored.\n");
   if (!all_match) {
     std::printf("FAIL: reloaded verdicts differ from the in-memory run\n");
     return 1;
   }
-  std::printf("OK: fit->save->reload->inspect verdicts are bit-identical\n");
+  std::printf("OK: fit->publish->reload->audit verdicts are bit-identical\n");
   return 0;
 }

@@ -1,0 +1,412 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "serve/audit_service.hpp"
+#include "util/stopwatch.hpp"
+
+namespace bprom::api {
+
+namespace {
+
+/// Names become file stems; keep them flat and unambiguous.
+Status validate_name(const std::string& name) {
+  if (name.empty()) return Status::InvalidRequest("detector name is empty");
+  if (name.find('@') != std::string::npos) {
+    return Status::InvalidRequest("detector name '" + name +
+                                  "' must not contain '@' (reserved for "
+                                  "version suffixes)");
+  }
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos) {
+    return Status::InvalidRequest("detector name '" + name +
+                                  "' must not contain path separators");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status status_from(const io::IoError& error) {
+  switch (error.kind()) {
+    case io::ErrorKind::kNotFound:
+      return Status::NotFound(error.what());
+    case io::ErrorKind::kVersionMismatch:
+      return Status::VersionMismatch(error.what());
+    case io::ErrorKind::kPrecondition:
+      return Status::FailedPrecondition(error.what());
+    case io::ErrorKind::kIo:
+      return Status::Internal(error.what());
+    case io::ErrorKind::kCorrupt:
+      break;
+  }
+  return Status::CorruptArtifact(error.what());
+}
+
+AuditEngine::AuditEngine(EngineConfig config) : config_(std::move(config)) {
+  try {
+    store_.emplace(config_.store_dir);
+  } catch (const io::IoError& e) {
+    init_status_ = status_from(e);
+  } catch (const std::exception& e) {
+    init_status_ = Status::Internal(e.what());
+  }
+}
+
+AuditEngine::~AuditEngine() {
+  std::unique_lock<std::mutex> lock(async_mu_);
+  async_cv_.wait(lock, [this] { return async_pending_ == 0; });
+}
+
+std::uint32_t AuditEngine::latest_on_disk(const std::string& base) const {
+  std::uint32_t latest = 0;
+  for (const auto& stem : store_->list()) {
+    if (stem == base) {
+      // Legacy unversioned container: counts as version 1.
+      latest = std::max(latest, 1U);
+      continue;
+    }
+    std::string b;
+    std::uint32_t v = 0;
+    if (parse_versioned_name(stem, &b, &v) && b == base) {
+      latest = std::max(latest, v);
+    }
+  }
+  return latest;
+}
+
+Result<AuditEngine::Resolved> AuditEngine::resolve(
+    const std::string& reference) {
+  if (!init_status_.ok()) return init_status_;
+  std::string base = reference;
+  std::uint32_t version = 0;
+  const bool pinned = parse_versioned_name(reference, &base, &version);
+  // Validate the base either way: a pinned "../evil@v1" must not sneak a
+  // path past the rules a bare "../evil" is rejected by.
+  if (Status s = validate_name(base); !s.ok()) return s;
+  if (!pinned) {
+    // Newest version wins.  The in-memory rollover pointer is only a floor
+    // (this engine's own publishes); the disk scan additionally picks up
+    // versions published over the same directory by other processes.
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      auto it = latest_.find(base);
+      if (it != latest_.end()) version = it->second;
+    }
+    version = std::max(version, latest_on_disk(base));
+    if (version == 0) {
+      return Status::NotFound("no detector published under '" + base + "'");
+    }
+  }
+
+  std::string stem = versioned_name(base, version);
+  if (version == 1 && !store_->contains(stem) && store_->contains(base)) {
+    stem = base;  // legacy unversioned container standing in for @v1
+  }
+  Resolved resolved;
+  try {
+    // Loaded detectors inspect on the engine's executor, like everything
+    // else this engine runs ("fits and audits share one executor").
+    resolved.handle = store_->get(stem, config_.pool);
+  } catch (const io::IoError& e) {
+    return status_from(e);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+  if (!pinned) {
+    // Remember the newest version seen by bare lookups.  Pinned resolves
+    // must not touch the pointer: serving an old "name@v1" is routine and
+    // must never drag later bare lookups backwards.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto& slot = latest_[base];
+    slot = std::max(slot, version);
+  }
+  resolved.info.name = base;
+  resolved.info.version = version;
+  resolved.info.source_classes = resolved.handle->source_classes();
+  resolved.info.query_samples = resolved.handle->config().query_samples;
+  resolved.info.path = store_->path_for(stem);
+  return resolved;
+}
+
+Result<DetectorInfo> AuditEngine::publish(const std::string& name,
+                                          core::BpromDetector detector) {
+  if (!init_status_.ok()) return init_status_;
+  if (Status s = validate_name(name); !s.ok()) return s;
+  if (!detector.fitted()) {
+    return Status::FailedPrecondition("cannot publish an unfitted detector");
+  }
+
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  std::uint32_t latest = latest_on_disk(name);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = latest_.find(name);
+    if (it != latest_.end()) latest = std::max(latest, it->second);
+  }
+  // Never overwrite an existing version file: a published name@vN is
+  // immutable (in-flight audits and pinned requests rely on it).  The
+  // contains() walk skips versions already minted by other engines over
+  // this directory — sequentially; truly concurrent publishes from a
+  // *different* engine (this process or another) can still race the walk
+  // and need external coordination (single-writer deployment — ROADMAP).
+  std::uint32_t next = latest + 1;
+  while (store_->contains(versioned_name(name, next))) ++next;
+  const std::string stem = versioned_name(name, next);
+
+  DetectorInfo info;
+  info.name = name;
+  info.version = next;
+  info.source_classes = detector.source_classes();
+  info.query_samples = detector.config().query_samples;
+  info.path = store_->path_for(stem);
+  // Whatever pool the caller fitted with (possibly a borrowed one about to
+  // die), the published handle inspects on this engine's executor.
+  detector.set_pool(config_.pool);
+  try {
+    store_->put(stem, std::move(detector));
+  } catch (const io::IoError& e) {
+    return status_from(e);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+  {
+    // The rollover itself: bare-name lookups see `next` from here on, while
+    // handles resolved earlier keep their shared_ptr to the old version.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    latest_[name] = next;
+  }
+  if (latest > 0) {
+    rollovers_.fetch_add(1, std::memory_order_relaxed);
+    // Release the superseded version's cache slot: long-lived engines refit
+    // routinely and only the newest version serves bare names, so keeping
+    // every old detector resident would grow memory without bound.  Audits
+    // already in flight hold their own shared_ptr; a later pinned request
+    // for the old version reloads it from disk on demand.
+    store_->evict(versioned_name(name, latest));
+    if (latest == 1) store_->evict(name);  // legacy unversioned alias
+  }
+  return info;
+}
+
+Result<DetectorInfo> AuditEngine::fit(const FitRequest& request) {
+  if (!init_status_.ok()) return init_status_;
+  if (Status s = validate_name(request.name); !s.ok()) return s;
+  if (request.reserved_clean == nullptr || request.target_train == nullptr ||
+      request.target_test == nullptr) {
+    return Status::InvalidRequest("fit request is missing a dataset");
+  }
+  if (request.reserved_clean->size() == 0 ||
+      request.target_train->size() == 0 || request.target_test->size() == 0) {
+    return Status::InvalidRequest("fit request has an empty dataset");
+  }
+  if (request.source_classes == 0) {
+    return Status::InvalidRequest("source_classes must be positive");
+  }
+  // fit() checks these with asserts that Release builds compile out; the
+  // façade fails them as typed errors instead.  A negative label would
+  // wrap the size_t cast below (and later index out of bounds inside
+  // prompt learning), so it is rejected outright.
+  std::size_t target_classes = 0;
+  for (int label : request.target_train->labels) {
+    if (label < 0) {
+      return Status::InvalidRequest("target_train labels must be >= 0");
+    }
+    target_classes = std::max(target_classes,
+                              static_cast<std::size_t>(label) + 1);
+  }
+  for (int label : request.target_test->labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= target_classes) {
+      return Status::InvalidRequest(
+          "target_test labels must lie in the target_train class range");
+    }
+  }
+  if (target_classes > request.source_classes) {
+    return Status::InvalidRequest(
+        "target dataset has " + std::to_string(target_classes) +
+        " classes but the suspicious task only has " +
+        std::to_string(request.source_classes) +
+        " (the output mapping needs K_T <= K_S)");
+  }
+
+  core::BpromConfig config = request.config;
+  config.pool = config_.pool;  // fits and audits share one executor
+  core::BpromDetector detector(config);
+  try {
+    detector.fit(*request.reserved_clean, request.source_classes,
+                 *request.target_train, *request.target_test);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("fit failed: ") + e.what());
+  }
+  return publish(request.name, std::move(detector));
+}
+
+Result<DetectorInfo> AuditEngine::info(const std::string& name) {
+  auto resolved = resolve(name);
+  if (!resolved.ok()) return resolved.status();
+  return std::move(resolved).value().info;
+}
+
+Result<std::vector<DetectorInfo>> AuditEngine::list() const {
+  if (!init_status_.ok()) return init_status_;
+  std::vector<DetectorInfo> infos;
+  for (const auto& stem : store_->list()) {
+    DetectorInfo info;
+    info.version = 1;  // legacy unversioned containers stand in for @v1
+    if (!parse_versioned_name(stem, &info.name, &info.version)) {
+      info.name = stem;
+    }
+    info.path = store_->path_for(stem);
+    infos.push_back(std::move(info));
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const DetectorInfo& a, const DetectorInfo& b) {
+              return a.name != b.name ? a.name < b.name
+                                      : a.version < b.version;
+            });
+  return infos;
+}
+
+Result<std::shared_ptr<const core::BpromDetector>> AuditEngine::detector(
+    const std::string& name) {
+  auto resolved = resolve(name);
+  if (!resolved.ok()) return resolved.status();
+  return std::move(resolved).value().handle;
+}
+
+std::vector<AuditResponse> AuditEngine::audit(
+    const std::vector<AuditRequest>& batch) {
+  return audit_from(batch, util::Stopwatch());
+}
+
+std::vector<AuditResponse> AuditEngine::audit_from(
+    const std::vector<AuditRequest>& batch, util::Stopwatch batch_clock) {
+  const std::size_t n = batch.size();
+  std::vector<AuditResponse> responses(n);
+  if (!init_status_.ok()) {
+    // Same contract as every other failure path: echo model_id so callers
+    // can attribute the failure, and count the requests.
+    for (std::size_t i = 0; i < n; ++i) {
+      responses[i].model_id = batch[i].model_id;
+      responses[i].status = init_status_;
+    }
+    requests_.fetch_add(n, std::memory_order_relaxed);
+    return responses;
+  }
+
+  // Resolve each distinct detector reference once, before any work starts:
+  // the whole batch audits one consistent store snapshot, and a publish()
+  // that lands mid-batch only affects later batches.
+  std::map<std::string, Result<Resolved>> resolved;
+  for (const auto& request : batch) {
+    if (resolved.find(request.detector) == resolved.end()) {
+      resolved.emplace(request.detector, resolve(request.detector));
+    }
+  }
+
+  // The shared serve-layer derivation: the salt — and therefore the
+  // verdict — is a function of (engine seed, batch index) only, so batches
+  // are bit-identical across thread counts AND across the two surfaces.
+  const std::vector<std::uint64_t> salts =
+      serve::split_request_salts(config_.seed, n);
+
+  util::parallel_for(n, [&](std::size_t i) {
+    const AuditRequest& request = batch[i];
+    AuditResponse& response = responses[i];
+    response.model_id = request.model_id;
+    util::Stopwatch watch;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    const Result<Resolved>& target = resolved.at(request.detector);
+    if (!target.ok()) {
+      response.status = target.status();
+      response.seconds = watch.seconds();
+      return;
+    }
+    response.detector_version = target.value().info.versioned_name();
+    const core::BpromDetector& detector = *target.value().handle;
+
+    if (request.query_budget == 0) {
+      response.status = Status::BudgetExhausted(
+          "query budget is zero; inspection needs at least one query");
+    } else if (Status s = detector.inspectable(request.model); !s.ok()) {
+      response.status = s;
+    } else if (request.deadline_ms > 0 &&
+               batch_clock.seconds() * 1e3 >
+                   static_cast<double>(request.deadline_ms)) {
+      response.status = Status::DeadlineExceeded(
+          "deadline of " + std::to_string(request.deadline_ms) +
+          "ms elapsed before the inspection could start");
+    } else {
+      try {
+        core::Verdict verdict = detector.inspect(*request.model, salts[i]);
+        queries_.fetch_add(verdict.queries, std::memory_order_relaxed);
+        if (verdict.budget_exhausted) {
+          response.verdict.queries = verdict.queries;
+          response.status = Status::BudgetExhausted(
+              "prompt-learning evaluation budget is too small to complete a "
+              "single optimizer step");
+        } else if (verdict.queries > request.query_budget) {
+          response.verdict.queries = verdict.queries;
+          response.status = Status::BudgetExhausted(
+              "inspection spent " + std::to_string(verdict.queries) +
+              " queries against a budget of " +
+              std::to_string(request.query_budget));
+        } else {
+          response.verdict = verdict;
+          verdicts_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception& e) {
+        response.status = Status::Internal(e.what());
+      }
+    }
+    response.seconds = watch.seconds();
+  }, pool());
+  return responses;
+}
+
+std::future<std::vector<AuditResponse>> AuditEngine::audit_async(
+    std::vector<AuditRequest> batch) {
+  // Deadlines are measured from submission, so the clock starts here: time
+  // a batch spends queued behind a busy pool counts against it.
+  util::Stopwatch submitted;
+  // Decrements the in-flight count even if the batch throws; notifying
+  // under the lock guarantees the waiting destructor cannot free the
+  // condition variable between our decrement and our notify.
+  struct PendingGuard {
+    AuditEngine* engine;
+    ~PendingGuard() {
+      std::lock_guard<std::mutex> lock(engine->async_mu_);
+      --engine->async_pending_;
+      engine->async_cv_.notify_all();
+    }
+  };
+  auto task =
+      std::make_shared<std::packaged_task<std::vector<AuditResponse>()>>(
+          [this, moved = std::move(batch), submitted] {
+            PendingGuard guard{this};
+            return audit_from(moved, submitted);
+          });
+  auto future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    ++async_pending_;
+  }
+  util::ThreadPool& executor =
+      config_.pool != nullptr ? *config_.pool : util::default_pool();
+  executor.submit([task] { (*task)(); });
+  return future;
+}
+
+EngineStats AuditEngine::stats() const {
+  EngineStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.verdicts = verdicts_.load(std::memory_order_relaxed);
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.rollovers = rollovers_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace bprom::api

@@ -1,0 +1,160 @@
+// `bprom::api::AuditEngine` — the public entry point for fitting, loading,
+// and auditing BPROM detectors.
+//
+// The engine owns a directory-backed detector store and dispatches batched
+// audits over a thread pool.  Detectors are published under versioned names
+// ("marketplace@v1", "@v2", ...): publishing a refreshed fit rolls the bare
+// name over atomically while audits already in flight finish on the version
+// they resolved — a store handle is a shared_ptr, so an old version lives
+// exactly as long as someone is still inspecting with it.
+//
+// Everything fallible returns `Status`/`Result<T>` (api/status.hpp); no
+// exception and no abort crosses this boundary.  The lower-level
+// `serve::AuditService` / `serve::DetectorStore` / `io::*_file` entry
+// points are internal — new consumers should not reach below this header.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "api/types.hpp"
+#include "io/binary.hpp"
+#include "serve/detector_store.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bprom::api {
+
+/// Map an internal io failure onto the façade's typed codes.
+Status status_from(const io::IoError& error);
+
+struct EngineConfig {
+  /// Backing directory of the versioned detector store (created if absent).
+  std::string store_dir;
+  /// Root seed the per-request inspection salts are split from.  The salt a
+  /// request sees is a function of (seed, batch index) only, so batches are
+  /// bit-identical for any thread count — and identical to the internal
+  /// serve::AuditService with the same seed (its historical default, 97).
+  std::uint64_t seed = 97;
+  /// Pool audits and fits fan out on; nullptr = process-wide default pool
+  /// (BPROM_THREADS).  Borrowed — must outlive the engine.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Exact running totals since construction (relaxed atomics; a snapshot,
+/// not a transaction).
+struct EngineStats {
+  std::uint64_t requests = 0;   ///< audit requests processed, ok or not
+  std::uint64_t verdicts = 0;   ///< requests that produced a verdict
+  std::uint64_t queries = 0;    ///< black-box queries spent, exact
+  std::uint64_t rollovers = 0;  ///< publishes that superseded a live version
+};
+
+class AuditEngine {
+ public:
+  /// Never throws: a store-directory failure is deferred into status() and
+  /// every subsequent operation reports it.
+  explicit AuditEngine(EngineConfig config);
+
+  /// Blocks until every batch dispatched through audit_async() has
+  /// finished: their pool tasks reference this engine, so a future may
+  /// safely outlive the caller's interest but never the engine's memory.
+  ~AuditEngine();
+
+  AuditEngine(const AuditEngine&) = delete;
+  AuditEngine& operator=(const AuditEngine&) = delete;
+
+  /// OK when the engine is usable; the construction failure otherwise.
+  [[nodiscard]] const Status& status() const { return init_status_; }
+
+  /// Fit a detector from the request's datasets and publish it under
+  /// `request.name` as the next version of that name.
+  Result<DetectorInfo> fit(const FitRequest& request);
+
+  /// Publish an already-fitted detector as the next version of `name`
+  /// ("name@vN" on disk) and atomically roll the bare name over to it.
+  Result<DetectorInfo> publish(const std::string& name,
+                               core::BpromDetector detector);
+
+  /// Metadata of a published detector; loads (and caches) the artifact.
+  /// Accepts bare names (newest version) and pinned "name@vN" forms.
+  Result<DetectorInfo> info(const std::string& name);
+
+  /// Every published (name, version) pair on disk, sorted.  Metadata that
+  /// needs the artifact loaded (class counts) is zero here — use info().
+  Result<std::vector<DetectorInfo>> list() const;
+
+  /// In-process escape hatch: the live handle a name currently resolves to.
+  /// The handle stays valid across rollovers — that is the rollover
+  /// guarantee itself.
+  Result<std::shared_ptr<const core::BpromDetector>> detector(
+      const std::string& name);
+
+  /// Audit a batch.  Per-request failures (unknown detector, null model,
+  /// exhausted budget, missed deadline) come back as non-OK statuses in the
+  /// matching response — the call itself never throws and responses keep
+  /// batch order.  Each distinct detector reference is resolved once, on
+  /// entry, so one batch sees one consistent version even mid-rollover.
+  [[nodiscard]] std::vector<AuditResponse> audit(
+      const std::vector<AuditRequest>& batch);
+
+  /// Same semantics, off the calling thread: the whole batch (owned by the
+  /// future) is resolved and dispatched on the engine's pool.  Safe to call
+  /// concurrently with publish(); the batch audits whatever versions it
+  /// resolves when it starts.
+  [[nodiscard]] std::future<std::vector<AuditResponse>> audit_async(
+      std::vector<AuditRequest> batch);
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct Resolved {
+    std::shared_ptr<const core::BpromDetector> handle;
+    DetectorInfo info;
+  };
+
+  /// Resolve "name" / "name@vN" to a live handle + metadata.
+  Result<Resolved> resolve(const std::string& reference);
+  /// Shared batch loop; `batch_clock` anchors deadline_ms (started at
+  /// submission by audit_async, at entry by the synchronous audit).
+  std::vector<AuditResponse> audit_from(const std::vector<AuditRequest>& batch,
+                                        util::Stopwatch batch_clock);
+  /// Newest version of `base` on disk (0 when unpublished).  A bare legacy
+  /// "<base>.bprom" container counts as version 1.
+  [[nodiscard]] std::uint32_t latest_on_disk(const std::string& base) const;
+  [[nodiscard]] util::ThreadPool* pool() const { return config_.pool; }
+
+  EngineConfig config_;
+  Status init_status_;
+  /// Engaged iff init_status_.ok().
+  std::optional<serve::DetectorStore> store_;
+
+  /// Serializes publishes so two concurrent publishes cannot mint the same
+  /// version number.
+  std::mutex publish_mu_;
+  /// Guards latest_: the in-memory rollover pointer (name -> newest
+  /// version published or resolved by this engine).
+  mutable std::mutex state_mu_;
+  std::map<std::string, std::uint32_t> latest_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> verdicts_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> rollovers_{0};
+
+  /// In-flight audit_async batches; the destructor drains to zero.
+  std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  std::size_t async_pending_ = 0;
+};
+
+}  // namespace bprom::api

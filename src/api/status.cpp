@@ -1,0 +1,39 @@
+#include "api/status.hpp"
+
+namespace bprom::api {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kCorruptArtifact:
+      return "corrupt_artifact";
+    case StatusCode::kVersionMismatch:
+      return "version_mismatch";
+    case StatusCode::kBudgetExhausted:
+      return "budget_exhausted";
+    case StatusCode::kInvalidRequest:
+      return "invalid_request";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace bprom::api

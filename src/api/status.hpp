@@ -1,0 +1,134 @@
+// Typed error model of the public `bprom::api` façade.
+//
+// Every fallible façade operation reports a `Status` (or a `Result<T>`,
+// which is a Status plus a value on success) instead of throwing: the
+// internal layers still use exceptions (`io::IoError`) and asserts, but
+// nothing escapes the façade untyped.  Codes are stable, wire-friendly
+// integers so a future network front end can ship them unchanged.
+//
+// This header is dependency-free on purpose — lower layers (`core`) may
+// include it to *return* typed errors without creating a cycle.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bprom::api {
+
+/// Version of the façade's wire contract (status codes + the value types in
+/// api/types.hpp).  Bumped only on incompatible changes.
+inline constexpr std::uint32_t kApiVersion = 1;
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// The named detector/version does not exist in the store.
+  kNotFound = 1,
+  /// A `.bprom` artifact failed parsing: truncation, CRC, bad chunk tags.
+  kCorruptArtifact = 2,
+  /// A `.bprom` artifact was written by a different container version than
+  /// this build supports (typically: a newer build's store directory).
+  kVersionMismatch = 3,
+  /// The request's query budget cannot cover the inspection.
+  kBudgetExhausted = 4,
+  /// The request itself is malformed (null model, empty/invalid name,
+  /// class-count mismatch, name containing reserved characters, ...).
+  kInvalidRequest = 5,
+  /// The operation needs state the engine does not have (e.g. an unfitted
+  /// detector where a fitted one is required).
+  kFailedPrecondition = 6,
+  /// The request's deadline elapsed before its inspection could start.
+  kDeadlineExceeded = 7,
+  /// Anything unexpected that crossed the façade boundary.
+  kInternal = 8,
+};
+
+/// Stable lower-snake name of a code ("ok", "not_found", ...).
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status CorruptArtifact(std::string m) {
+    return {StatusCode::kCorruptArtifact, std::move(m)};
+  }
+  static Status VersionMismatch(std::string m) {
+    return {StatusCode::kVersionMismatch, std::move(m)};
+  }
+  static Status BudgetExhausted(std::string m) {
+    return {StatusCode::kBudgetExhausted, std::move(m)};
+  }
+  static Status InvalidRequest(std::string m) {
+    return {StatusCode::kInvalidRequest, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>" — for logs and CLI output.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a T.  `ok()` decides which; `value()` asserts ok() so a
+/// forgotten check fails fast in Debug instead of reading garbage.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return info;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result needs a value");
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The value, or `fallback` when the result holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bprom::api

@@ -1,0 +1,32 @@
+#include "api/types.hpp"
+
+#include <cctype>
+
+namespace bprom::api {
+
+std::string versioned_name(const std::string& base, std::uint32_t version) {
+  return base + "@v" + std::to_string(version);
+}
+
+std::string DetectorInfo::versioned_name() const {
+  return api::versioned_name(name, version);
+}
+
+bool parse_versioned_name(const std::string& name, std::string* base,
+                          std::uint32_t* version) {
+  const std::size_t at = name.rfind('@');
+  if (at == std::string::npos || at == 0) return false;
+  if (at + 2 >= name.size() || name[at + 1] != 'v') return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = at + 2; i < name.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) return false;
+    v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    if (v > 0xFFFFFFFFULL) return false;
+  }
+  if (v == 0) return false;
+  *base = name.substr(0, at);
+  *version = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+}  // namespace bprom::api

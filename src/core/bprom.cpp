@@ -240,6 +240,22 @@ void BpromDetector::fit(const nn::LabeledData& reserved_clean,
   fitted_ = true;
 }
 
+api::Status BpromDetector::inspectable(const nn::BlackBoxModel* model) const {
+  if (model == nullptr) {
+    return api::Status::InvalidRequest("null model");
+  }
+  if (!fitted_) {
+    return api::Status::FailedPrecondition("detector is not fitted");
+  }
+  if (model->num_classes() != source_classes_) {
+    return api::Status::InvalidRequest(
+        "model reports " + std::to_string(model->num_classes()) +
+        " classes but the detector was fitted for " +
+        std::to_string(source_classes_));
+  }
+  return api::Status::Ok();
+}
+
 Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
                                std::uint64_t seed_salt) const {
   assert(fitted_);
@@ -261,12 +277,14 @@ Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
   // never reach the counter of the box a member sees, so they must be added
   // back explicitly for the verdict's accounting to stay exact.
   std::vector<std::size_t> hidden_queries(ensemble, 0);
+  std::vector<char> exhausted(ensemble, 0);
 
   const auto run_member = [&](std::size_t r, const nn::BlackBoxModel& box) {
     vp::BlackBoxPromptConfig pc = config_.prompt_blackbox;
     pc.seed = config_.prompt_blackbox.seed + seed_salt + 7919 * (r + 1);
     auto bb = vp::learn_prompt_blackbox(box, target_train_, pc);
     hidden_queries[r] = bb.replica_queries;
+    exhausted[r] = bb.budget_exhausted ? 1 : 0;
 
     features[r] = meta_feature_vector(box, bb.prompt);
     vp::PromptedModel prompted(box, bb.prompt);
@@ -315,6 +333,7 @@ Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
   verdict.queries = suspicious.query_count() - queries_before;
   for (const auto& replica : replicas) verdict.queries += replica->query_count();
   for (std::size_t q : hidden_queries) verdict.queries += q;
+  for (char e : exhausted) verdict.budget_exhausted |= (e != 0);
   return verdict;
 }
 

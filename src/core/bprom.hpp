@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "api/status.hpp"
 #include "attacks/poisoner.hpp"
 #include "meta/random_forest.hpp"
 #include "nn/arch.hpp"
@@ -86,6 +87,11 @@ struct Verdict {
   double prompted_accuracy = 0.0;
   /// Black-box queries spent on this inspection.
   std::size_t queries = 0;
+  /// True when the prompt-learning evaluation budget was too small to
+  /// complete even one optimizer step: score/prompted_accuracy are then the
+  /// unoptimized-prompt values, not a real detection.  The api façade turns
+  /// this into Status::kBudgetExhausted instead of a silent default.
+  bool budget_exhausted = false;
 };
 
 /// Diagnostics captured during fit() for analysis benches / figures.
@@ -118,6 +124,12 @@ class BpromDetector {
   [[nodiscard]] Verdict inspect(const nn::BlackBoxModel& suspicious,
                                 std::uint64_t seed_salt = 0) const;
 
+  /// Typed precondition check for inspect(): OK when `model` is non-null,
+  /// the detector is fitted, and the class counts agree.  inspect() itself
+  /// only asserts (compiled out in Release), so serving layers call this
+  /// first and surface the api::Status instead of crashing or misreading.
+  [[nodiscard]] api::Status inspectable(const nn::BlackBoxModel* model) const;
+
   /// Threshold-free convenience: the raw backdoor score in [0, 1].
   [[nodiscard]] double score(const nn::BlackBoxModel& suspicious) const {
     return inspect(suspicious).score;
@@ -125,6 +137,12 @@ class BpromDetector {
 
   [[nodiscard]] const FitDiagnostics& diagnostics() const { return diag_; }
   [[nodiscard]] const BpromConfig& config() const { return config_; }
+  /// Reroute the pool fit()/inspect() fan out on (nullptr = process-wide
+  /// pool).  Serving layers call this so detectors they publish or load
+  /// run on *their* executor: the pool is runtime-only state that is never
+  /// persisted, so a loaded detector would otherwise silently fall back to
+  /// the global pool.  Borrowed; must outlive every later fit()/inspect().
+  void set_pool(util::ThreadPool* pool) { config_.pool = pool; }
   [[nodiscard]] bool fitted() const { return fitted_; }
   /// K_S the detector was fitted for (0 before fit()).
   [[nodiscard]] std::size_t source_classes() const { return source_classes_; }

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 namespace bprom::io {
@@ -126,11 +127,23 @@ std::vector<std::uint8_t> Writer::finish() const {
 
 void Writer::save_file(const std::string& path) const {
   const auto bytes = finish();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot open for writing: " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw IoError("short write: " + path);
+  // Stage into a sibling temp file and rename into place: a concurrent
+  // reader (e.g. a store resolve racing a publish) must never observe a
+  // half-written container, and rename within one directory is atomic.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open for writing: " + tmp, ErrorKind::kIo);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw IoError("short write: " + tmp, ErrorKind::kIo);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError("cannot move " + tmp + " into place: " + ec.message(),
+                  ErrorKind::kIo);
+  }
 }
 
 // --------------------------------------------------------------- Reader
@@ -142,8 +155,15 @@ Reader::Reader(std::vector<std::uint8_t> bytes) {
   }
   const auto version = static_cast<std::uint32_t>(load_le(&bytes[4], 4));
   if (version != kFormatVersion) {
+    // A newer container (from a newer build's store) is rejected cleanly so
+    // callers can say "upgrade me" instead of crashing on garbage.
+    const char* hint = version > kFormatVersion
+                           ? " — written by a newer build than this one"
+                           : "";
     throw IoError("unsupported format version " + std::to_string(version) +
-                  " (expected " + std::to_string(kFormatVersion) + ")");
+                      " (this build supports " +
+                      std::to_string(kFormatVersion) + ")" + hint,
+                  ErrorKind::kVersionMismatch);
   }
   const std::uint64_t len = load_le(&bytes[8], 8);
   if (bytes.size() != 20 + len) {
@@ -157,12 +177,17 @@ Reader::Reader(std::vector<std::uint8_t> bytes) {
 
 Reader Reader::from_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw IoError("cannot open for reading: " + path);
+  if (!in) {
+    std::error_code ec;
+    const auto kind = std::filesystem::exists(path, ec) ? ErrorKind::kIo
+                                                        : ErrorKind::kNotFound;
+    throw IoError("cannot open for reading: " + path, kind);
+  }
   const std::streamsize size = in.tellg();
   in.seekg(0);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) throw IoError("short read: " + path);
+  if (!in) throw IoError("short read: " + path, ErrorKind::kIo);
   return Reader(std::move(bytes));
 }
 

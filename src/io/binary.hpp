@@ -21,10 +21,36 @@
 
 namespace bprom::io {
 
+/// What went wrong, coarsely — the public façade (bprom::api) maps these
+/// onto its typed Status codes, so each throw site picks the kind that
+/// should reach API consumers.
+enum class ErrorKind : std::uint8_t {
+  /// Malformed bytes: truncation, CRC/tag/magic mismatch, out-of-range
+  /// fields.  The default — most throw sites are parse failures.
+  kCorrupt = 0,
+  /// The artifact does not exist at all.
+  kNotFound = 1,
+  /// The container was written by a different format version (typically a
+  /// newer build's store directory).
+  kVersionMismatch = 2,
+  /// The operation was invalid for the object's state (e.g. saving an
+  /// unfitted detector).
+  kPrecondition = 3,
+  /// The filesystem failed underneath us (short read/write, no space).
+  kIo = 4,
+};
+
 /// Raised on malformed, truncated, corrupt, or version-mismatched input.
 class IoError : public std::runtime_error {
  public:
-  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+  explicit IoError(const std::string& what,
+                   ErrorKind kind = ErrorKind::kCorrupt)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
 };
 
 inline constexpr std::uint32_t kFormatVersion = 1;

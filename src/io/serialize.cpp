@@ -302,7 +302,8 @@ namespace bprom::core {
 
 void BpromDetector::save(io::Writer& writer) const {
   if (!fitted_) {
-    throw io::IoError("cannot save an unfitted BpromDetector");
+    throw io::IoError("cannot save an unfitted BpromDetector",
+                      io::ErrorKind::kPrecondition);
   }
   writer.write_tag("DTCT");
 

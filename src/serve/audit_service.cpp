@@ -7,6 +7,14 @@
 
 namespace bprom::serve {
 
+std::vector<std::uint64_t> split_request_salts(std::uint64_t seed,
+                                               std::size_t n) {
+  util::Rng root(seed);
+  std::vector<std::uint64_t> salts(n);
+  for (std::size_t i = 0; i < n; ++i) salts[i] = root.split(i + 1).next_u64();
+  return salts;
+}
+
 AuditService::AuditService(std::shared_ptr<const core::BpromDetector> detector,
                            AuditServiceConfig config)
     : detector_(std::move(detector)), config_(config) {}
@@ -20,12 +28,7 @@ std::vector<AuditResponse> AuditService::audit(
   const std::size_t n = batch.size();
   std::vector<AuditResponse> responses(n);
 
-  // Per-request salts are split off sequentially on the calling thread, so
-  // the salt a request sees — and therefore its verdict — is a function of
-  // (service seed, batch index) only, never of thread scheduling.
-  util::Rng root(config_.seed);
-  std::vector<std::uint64_t> salts(n);
-  for (std::size_t i = 0; i < n; ++i) salts[i] = root.split(i + 1).next_u64();
+  const std::vector<std::uint64_t> salts = split_request_salts(config_.seed, n);
 
   util::parallel_for(n, [&](std::size_t i) {
     AuditResponse& response = responses[i];

@@ -1,4 +1,10 @@
-// Batched audit front end: the MLaaS-marketplace deployment of BPROM.
+// INTERNAL batched audit loop: the MLaaS-marketplace deployment of BPROM.
+//
+// Since the `bprom::api` façade landed, this is an implementation-layer
+// type — external consumers (examples, benches, tools) should use
+// api::AuditEngine, which adds versioned named detectors with rollover,
+// typed Status errors, per-request budgets/deadlines, and async batches
+// while keeping this type's determinism contract.
 //
 // A batch of suspicious black-box models fans out over the thread pool;
 // every request is inspected independently (the detector is const and
@@ -17,6 +23,13 @@
 #include "util/thread_pool.hpp"
 
 namespace bprom::serve {
+
+/// Per-request inspection salts, split off sequentially from `seed`: the
+/// salt a request sees is a function of (seed, batch index) only, never of
+/// thread scheduling.  The single definition shared by AuditService and
+/// api::AuditEngine — it is what keeps the two surfaces bit-identical.
+std::vector<std::uint64_t> split_request_salts(std::uint64_t seed,
+                                               std::size_t n);
 
 struct AuditRequest {
   /// Caller-chosen identifier echoed back in the response.

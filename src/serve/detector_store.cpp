@@ -15,7 +15,8 @@ DetectorStore::DetectorStore(std::string directory)
   fs::create_directories(dir_, ec);
   if (ec) {
     throw io::IoError("cannot create store directory " + dir_ + ": " +
-                      ec.message());
+                          ec.message(),
+                      io::ErrorKind::kIo);
   }
 }
 
@@ -34,7 +35,7 @@ std::shared_ptr<const core::BpromDetector> DetectorStore::put(
 }
 
 std::shared_ptr<const core::BpromDetector> DetectorStore::get(
-    const std::string& name) {
+    const std::string& name, util::ThreadPool* pool_for_loaded) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(name);
@@ -42,8 +43,10 @@ std::shared_ptr<const core::BpromDetector> DetectorStore::get(
   }
   // Load outside the lock so a slow disk read does not serialize unrelated
   // lookups; first insertion wins if two threads race on the same name.
-  auto loaded = std::make_shared<const core::BpromDetector>(
-      io::load_detector_file(path_for(name)));
+  core::BpromDetector detector = io::load_detector_file(path_for(name));
+  detector.set_pool(pool_for_loaded);
+  auto loaded =
+      std::make_shared<const core::BpromDetector>(std::move(detector));
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.emplace(name, std::move(loaded)).first->second;
 }

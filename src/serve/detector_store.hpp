@@ -1,4 +1,10 @@
-// Directory-backed store of fitted detectors.
+// INTERNAL directory-backed store of fitted detectors.
+//
+// Since the `bprom::api` façade landed, this is an implementation-layer
+// type — external consumers should go through api::AuditEngine, which
+// layers versioned names ("name@vN"), atomic rollover, and typed Status
+// errors (a store of a newer container version is rejected as
+// kVersionMismatch instead of an escaping io::IoError) on top of it.
 //
 // Detectors are expensive to fit (a whole shadow population) but cheap to
 // load, so the serving front end keeps them on disk as `<name>.bprom`
@@ -33,8 +39,12 @@ class DetectorStore {
                                                  core::BpromDetector detector);
 
   /// Cached detector, loading from disk on first use.  Throws io::IoError
-  /// when the name has never been stored.
-  std::shared_ptr<const core::BpromDetector> get(const std::string& name);
+  /// when the name has never been stored.  A freshly *loaded* detector gets
+  /// `pool_for_loaded` installed before it is published to the cache (the
+  /// pool is runtime-only and never persisted); cached entries keep the
+  /// pool they already carry.
+  std::shared_ptr<const core::BpromDetector> get(
+      const std::string& name, util::ThreadPool* pool_for_loaded = nullptr);
 
   /// True when `name` is cached or present on disk.
   [[nodiscard]] bool contains(const std::string& name) const;

@@ -92,6 +92,7 @@ BlackBoxPromptResult learn_prompt_blackbox(
   // budget both optimizers report +huge, never a fabricated perfect loss.
   std::vector<double> best_x;
   double best_f = 0.0;
+  std::size_t evaluations = 0;
   if (config.optimizer == BlackBoxOptimizer::kCmaEs) {
     opt::CmaEsConfig cma;
     cma.dim = prompt.num_params();
@@ -104,6 +105,7 @@ BlackBoxPromptResult learn_prompt_blackbox(
     auto result = solver.optimize(opt::CmaEs::BatchObjective(eval_batch));
     best_x = std::move(result.best_x);
     best_f = result.best_f;
+    evaluations = result.evaluations;
   } else {
     opt::SpsaConfig spsa;
     spsa.max_evaluations = config.max_evaluations;
@@ -114,6 +116,7 @@ BlackBoxPromptResult learn_prompt_blackbox(
                            opt::SpsaBatchObjective(eval_batch));
     best_x = std::move(result.best_x);
     best_f = result.best_f;
+    evaluations = result.evaluations;
   }
 
   std::size_t replica_queries = 0;
@@ -124,7 +127,7 @@ BlackBoxPromptResult learn_prompt_blackbox(
   prompt.set_theta(best_x);
   BlackBoxPromptResult out{std::move(prompt), best_f,
                            (model.query_count() - query_base) + replica_queries,
-                           replica_queries};
+                           replica_queries, /*budget_exhausted=*/evaluations == 0};
   return out;
 }
 

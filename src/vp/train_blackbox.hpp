@@ -41,6 +41,11 @@ struct BlackBoxPromptResult {
   /// through their own counters must add this back (BpromDetector::inspect
   /// does) to stay exact.
   std::size_t replica_queries = 0;
+  /// True when `max_evaluations` could not cover a single optimizer
+  /// evaluation: `prompt` is then the unoptimized zero prompt.  Callers that
+  /// owe their users a typed error (the api façade) check this instead of
+  /// trusting the silent default.
+  bool budget_exhausted = false;
 };
 
 /// Learn theta with CMA-ES; the objective is the cross-entropy of the

@@ -84,29 +84,49 @@ TEST(IoBinary, RejectsCorruptTruncatedAndWrongVersionFiles) {
   // Sanity: the untouched container parses.
   EXPECT_NO_THROW(io::Reader{good});
 
+  // Every rejection carries the ErrorKind the api façade maps onto its
+  // Status codes, so the kinds are part of the contract.
+  const auto kind_of = [](const std::vector<std::uint8_t>& bytes) {
+    try {
+      io::Reader reader{bytes};
+    } catch (const io::IoError& e) {
+      return e.kind();
+    }
+    ADD_FAILURE() << "container unexpectedly parsed";
+    return io::ErrorKind::kIo;
+  };
+
   // Bad magic.
   auto bad_magic = good;
   bad_magic[0] = 'X';
-  EXPECT_THROW(io::Reader{bad_magic}, io::IoError);
+  EXPECT_EQ(kind_of(bad_magic), io::ErrorKind::kCorrupt);
 
-  // Unsupported version.
+  // Unsupported (newer) version: mismatch, not corruption.
   auto bad_version = good;
   bad_version[4] = 99;
-  EXPECT_THROW(io::Reader{bad_version}, io::IoError);
+  EXPECT_EQ(kind_of(bad_version), io::ErrorKind::kVersionMismatch);
 
   // Truncated payload.
   auto truncated = good;
   truncated.resize(truncated.size() / 2);
-  EXPECT_THROW(io::Reader{truncated}, io::IoError);
+  EXPECT_EQ(kind_of(truncated), io::ErrorKind::kCorrupt);
 
   // Single flipped payload byte -> CRC failure.
   auto corrupt = good;
   corrupt[24] ^= 0x40U;
-  EXPECT_THROW(io::Reader{corrupt}, io::IoError);
+  EXPECT_EQ(kind_of(corrupt), io::ErrorKind::kCorrupt);
 
   // Wrong chunk kind: a Tensor container is not a forest.
   io::Reader reader{good};
   EXPECT_THROW(meta::RandomForest::load(reader), io::IoError);
+
+  // A missing file is kNotFound (the façade's Status::kNotFound), not kIo.
+  try {
+    io::Reader::from_file("/nonexistent/bprom/container.bprom");
+    ADD_FAILURE() << "missing file unexpectedly opened";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kNotFound);
+  }
 }
 
 TEST(IoBinary, RejectsStructurallyCorruptTrees) {
@@ -266,7 +286,12 @@ TEST(IoBinary, DetectorFitSaveLoadInspectParity) {
 TEST(IoBinary, UnfittedDetectorRefusesToSave) {
   core::BpromDetector detector;
   io::Writer writer;
-  EXPECT_THROW(detector.save(writer), io::IoError);
+  try {
+    detector.save(writer);
+    FAIL() << "unfitted detector unexpectedly saved";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kPrecondition);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "api/engine.hpp"
 #include "core/experiment.hpp"
 #include "io/binary.hpp"
 #include "nn/arch.hpp"
@@ -146,49 +147,65 @@ TEST(DetectorStore, PutGetListAndCacheBehavior) {
   std::filesystem::remove_all(dir);
 }
 
-TEST(AuditService, BatchVerdictsAreThreadCountInvariant) {
+// Migrated onto the bprom::api façade (the old serve::AuditService is the
+// internal layer underneath it): batched verdicts must be bit-identical
+// under 1- and 4-thread engine pools, the async path must match the sync
+// one, and a malformed request must fail typed without sinking the batch.
+TEST(AuditEngine, BatchVerdictsAreThreadCountInvariant) {
   auto src = data::make_dataset(data::DatasetKind::kCifar10, 37, 400, 160);
   auto tgt = data::make_dataset(data::DatasetKind::kStl10, 38, 300, 160);
   const auto scale = micro_scale();
-  auto detector = std::make_shared<const core::BpromDetector>(
-      core::fit_detector(src, tgt, 0.10, nn::ArchKind::kResNet18Mini, 7,
-                         scale));
+  auto detector = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7, scale);
 
   auto population = core::build_population(
       src, attacks::AttackConfig::defaults(attacks::AttackKind::kBadNets),
       nn::ArchKind::kResNet18Mini, 1, 40, scale);
   std::vector<nn::BlackBoxAdapter> boxes;
-  boxes.reserve(population.size());
-  std::vector<serve::AuditRequest> batch;
+  boxes.reserve(2 * population.size());
+  std::vector<api::AuditRequest> batch;
   for (auto& suspicious : population) {
     boxes.emplace_back(*suspicious.model);
-    batch.push_back({"model-" + std::to_string(batch.size()), &boxes.back()});
+    api::AuditRequest request;
+    request.model_id = "model-" + std::to_string(batch.size());
+    request.detector = "aud";
+    request.model = &boxes.back();
+    batch.push_back(request);
   }
-  batch.push_back({"broken", nullptr});
+  api::AuditRequest broken;
+  broken.model_id = "broken";
+  broken.detector = "aud";
+  batch.push_back(broken);
 
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bprom_test_engine").string();
+  std::filesystem::remove_all(dir);
   util::ThreadPool one(1);
   util::ThreadPool four(4);
-  serve::AuditServiceConfig cfg_one;
-  cfg_one.pool = &one;
-  serve::AuditServiceConfig cfg_four;
-  cfg_four.pool = &four;
-  const auto serial = serve::AuditService(detector, cfg_one).audit(batch);
-  const auto parallel = serve::AuditService(detector, cfg_four).audit(batch);
+  api::AuditEngine serial_engine(
+      {.store_dir = dir, .pool = &one});
+  ASSERT_TRUE(serial_engine.publish("aud", std::move(detector)).ok());
+  api::AuditEngine parallel_engine(
+      {.store_dir = dir, .pool = &four});
+  const auto serial = serial_engine.audit(batch);
+  const auto parallel = parallel_engine.audit_async(batch).get();
 
   ASSERT_EQ(serial.size(), batch.size());
   ASSERT_EQ(parallel.size(), batch.size());
   for (std::size_t i = 0; i < population.size(); ++i) {
-    EXPECT_TRUE(serial[i].ok);
+    EXPECT_TRUE(serial[i].status.ok());
     EXPECT_EQ(serial[i].model_id, parallel[i].model_id);
+    EXPECT_EQ(serial[i].detector_version, "aud@v1");
     EXPECT_EQ(serial[i].verdict.score, parallel[i].verdict.score);
     EXPECT_EQ(serial[i].verdict.prompted_accuracy,
               parallel[i].verdict.prompted_accuracy);
     EXPECT_EQ(serial[i].verdict.backdoored, parallel[i].verdict.backdoored);
+    EXPECT_EQ(serial[i].verdict.queries, parallel[i].verdict.queries);
   }
-  // The malformed request fails gracefully without sinking the batch.
-  EXPECT_FALSE(serial.back().ok);
-  EXPECT_EQ(serial.back().error, "null model");
-  EXPECT_FALSE(parallel.back().ok);
+  // The malformed request fails typed without sinking the batch.
+  EXPECT_EQ(serial.back().status.code(), api::StatusCode::kInvalidRequest);
+  EXPECT_EQ(parallel.back().status.code(), api::StatusCode::kInvalidRequest);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
