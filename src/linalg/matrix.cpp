@@ -3,17 +3,9 @@
 #include <cassert>
 #include <cmath>
 
-#include "util/thread_pool.hpp"
+#include "tensor/gemm.hpp"
 
 namespace bprom::linalg {
-namespace {
-
-// Below this many multiply-adds the pool dispatch overhead dominates; the
-// serial loop wins.  Output rows are disjoint per task and each row is
-// accumulated in the serial order, so the parallel product is bit-identical.
-constexpr std::size_t kParallelGemmFlops = std::size_t{1} << 21;
-
-}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -38,26 +30,22 @@ Matrix Matrix::transpose() const {
 
 Matrix Matrix::multiply(const Matrix& rhs) const {
   assert(cols_ == rhs.rows_);
+  // Routed through the shared blocked kernel (double instantiation): the
+  // fixed macro-tile grid keeps the product bit-identical for any thread
+  // count, so the PCA/spectral analysis paths inherit both the speed and
+  // the determinism contract.
   Matrix out(rows_, rhs.cols_);
-  const auto row_product = [&](std::size_t i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      const double* rrow = &rhs.data_[k * rhs.cols_];
-      double* orow = &out.data_[i * rhs.cols_];
-      for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
-    }
-  };
-  if (rows_ > 1 && rows_ * cols_ * rhs.cols_ >= kParallelGemmFlops) {
-    util::parallel_for(rows_, row_product);
-  } else {
-    for (std::size_t i = 0; i < rows_; ++i) row_product(i);
-  }
+  tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, rows_, rhs.cols_,
+               cols_, data_.data(), cols_, rhs.data_.data(), rhs.cols_,
+               out.data_.data(), rhs.cols_, /*accumulate=*/false);
   return out;
 }
 
 std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
   assert(v.size() == cols_);
+  // Matrix-vector stays a direct streaming loop: with one output column
+  // the blocked kernel's packing would double the memory traffic for no
+  // register-tile payoff.
   std::vector<double> out(rows_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     double acc = 0.0;

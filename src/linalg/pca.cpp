@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "linalg/eigen.hpp"
+#include "tensor/gemm.hpp"
 
 namespace bprom::linalg {
 
@@ -29,23 +30,21 @@ PcaModel fit_pca(const Matrix& data, std::size_t k) {
   }
   for (auto& m : model.mean) m /= static_cast<double>(n);
 
-  Matrix cov(d, d);
+  // cov = Xc^T . Xc / (n - 1) through the blocked double kernel.  Both
+  // triangles come from the same ascending-sample summation order, so the
+  // result is exactly symmetric (and thread-count invariant).
+  Matrix centered(n, d);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t a = 0; a < d; ++a) {
-      const double xa = data(i, a) - model.mean[a];
-      if (xa == 0.0) continue;
-      for (std::size_t b = a; b < d; ++b) {
-        cov(a, b) += xa * (data(i, b) - model.mean[b]);
-      }
+    for (std::size_t j = 0; j < d; ++j) {
+      centered(i, j) = data(i, j) - model.mean[j];
     }
   }
+  Matrix cov(d, d);
+  tensor::gemm(tensor::Trans::kYes, tensor::Trans::kNo, d, d, n,
+               centered.data().data(), d, centered.data().data(), d,
+               cov.data().data(), d, /*accumulate=*/false);
   const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
-  for (std::size_t a = 0; a < d; ++a) {
-    for (std::size_t b = a; b < d; ++b) {
-      cov(a, b) /= denom;
-      cov(b, a) = cov(a, b);
-    }
-  }
+  cov.scale(1.0 / denom);
 
   auto eig = symmetric_eigen(cov);
   k = std::min(k, d);

@@ -1,28 +1,14 @@
 #include "nn/attention.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "tensor/gemm.hpp"
+
 namespace bprom::nn {
-namespace {
 
-// y[t, :] = x[t, :] * W  for a [T, C] token block and [C, C] weight.
-void tokens_matmul(const float* x, const float* w, float* y, std::size_t t,
-                   std::size_t c) {
-  for (std::size_t i = 0; i < t; ++i) {
-    const float* xi = x + i * c;
-    float* yi = y + i * c;
-    for (std::size_t o = 0; o < c; ++o) yi[o] = 0.0F;
-    for (std::size_t k = 0; k < c; ++k) {
-      const float xv = xi[k];
-      if (xv == 0.0F) continue;
-      const float* wk = w + k * c;
-      for (std::size_t o = 0; o < c; ++o) yi[o] += xv * wk[o];
-    }
-  }
-}
-
-}  // namespace
+using tensor::Trans;
 
 SpatialSelfAttention::SpatialSelfAttention(std::size_t channels,
                                            util::Rng& rng)
@@ -43,8 +29,9 @@ Tensor SpatialSelfAttention::forward(const Tensor& x, bool /*train*/) {
   const std::size_t c = channels_;
   const std::size_t t = x.dim(2) * x.dim(3);
 
-  // Re-layout [N, C, H, W] -> tokens [N, T, C].
-  x_tokens_ = Tensor({n, t, c});
+  // Re-layout [N, C, H, W] -> tokens [N, T, C].  Caches resize in place,
+  // so the steady state reuses their allocations.
+  x_tokens_.resize({n, t, c});
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* px = x.data() + (b * c + ch) * t;
@@ -54,12 +41,12 @@ Tensor SpatialSelfAttention::forward(const Tensor& x, bool /*train*/) {
     }
   }
 
-  q_ = Tensor({n, t, c});
-  k_ = Tensor({n, t, c});
-  v_ = Tensor({n, t, c});
-  attn_ = Tensor({n, t, t});
-  ctx_ = Tensor({n, t, c});
-  Tensor out_tokens({n, t, c});
+  q_.resize({n, t, c});
+  k_.resize({n, t, c});
+  v_.resize({n, t, c});
+  attn_.resize({n, t, t});
+  ctx_.resize({n, t, c});
+  out_tokens_.resize({n, t, c});
   const float inv_scale = 1.0F / std::sqrt(static_cast<float>(c));
 
   for (std::size_t b = 0; b < n; ++b) {
@@ -67,17 +54,22 @@ Tensor SpatialSelfAttention::forward(const Tensor& x, bool /*train*/) {
     float* qb = q_.data() + b * t * c;
     float* kb = k_.data() + b * t * c;
     float* vb = v_.data() + b * t * c;
-    tokens_matmul(xb, wq_.value.data(), qb, t, c);
-    tokens_matmul(xb, wk_.value.data(), kb, t, c);
-    tokens_matmul(xb, wv_.value.data(), vb, t, c);
+    // Projections: [T, C] x [C, C].
+    tensor::gemm(Trans::kNo, Trans::kNo, t, c, c, xb, c,
+                 wq_.value.data(), c, qb, c, /*accumulate=*/false);
+    tensor::gemm(Trans::kNo, Trans::kNo, t, c, c, xb, c,
+                 wk_.value.data(), c, kb, c, /*accumulate=*/false);
+    tensor::gemm(Trans::kNo, Trans::kNo, t, c, c, xb, c,
+                 wv_.value.data(), c, vb, c, /*accumulate=*/false);
 
+    // Scores Q . K^T, then scaled row softmax in place.
     float* ab = attn_.data() + b * t * t;
+    tensor::gemm(Trans::kNo, Trans::kYes, t, t, c, qb, c, kb, c, ab, t,
+                 /*accumulate=*/false);
     for (std::size_t i = 0; i < t; ++i) {
       float maxv = -1e30F;
       for (std::size_t j = 0; j < t; ++j) {
-        float s = 0.0F;
-        for (std::size_t d = 0; d < c; ++d) s += qb[i * c + d] * kb[j * c + d];
-        s *= inv_scale;
+        const float s = ab[i * t + j] * inv_scale;
         ab[i * t + j] = s;
         if (s > maxv) maxv = s;
       }
@@ -89,21 +81,13 @@ Tensor SpatialSelfAttention::forward(const Tensor& x, bool /*train*/) {
       for (std::size_t j = 0; j < t; ++j) ab[i * t + j] /= denom;
     }
 
+    // ctx = A . V, out = ctx . Wo + residual.
     float* cb = ctx_.data() + b * t * c;
-    for (std::size_t i = 0; i < t; ++i) {
-      for (std::size_t d = 0; d < c; ++d) cb[i * c + d] = 0.0F;
-      for (std::size_t j = 0; j < t; ++j) {
-        const float a = ab[i * t + j];
-        if (a == 0.0F) continue;
-        for (std::size_t d = 0; d < c; ++d) {
-          cb[i * c + d] += a * vb[j * c + d];
-        }
-      }
-    }
-
-    float* ob = out_tokens.data() + b * t * c;
-    tokens_matmul(cb, wo_.value.data(), ob, t, c);
-    // Residual.
+    tensor::gemm(Trans::kNo, Trans::kNo, t, c, t, ab, t, vb, c, cb, c,
+                 /*accumulate=*/false);
+    float* ob = out_tokens_.data() + b * t * c;
+    tensor::gemm(Trans::kNo, Trans::kNo, t, c, c, cb, c,
+                 wo_.value.data(), c, ob, c, /*accumulate=*/false);
     for (std::size_t i = 0; i < t * c; ++i) ob[i] += xb[i];
   }
 
@@ -113,7 +97,7 @@ Tensor SpatialSelfAttention::forward(const Tensor& x, bool /*train*/) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       float* py = y.data() + (b * c + ch) * t;
       for (std::size_t i = 0; i < t; ++i) {
-        py[i] = out_tokens[(b * t + i) * c + ch];
+        py[i] = out_tokens_[(b * t + i) * c + ch];
       }
     }
   }
@@ -127,23 +111,23 @@ Tensor SpatialSelfAttention::backward(const Tensor& grad_out) {
   const float inv_scale = 1.0F / std::sqrt(static_cast<float>(c));
 
   // Token-layout gradient of the block output.
-  Tensor dout({n, t, c});
+  dout_.resize({n, t, c});
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* pg = grad_out.data() + (b * c + ch) * t;
       for (std::size_t i = 0; i < t; ++i) {
-        dout[(b * t + i) * c + ch] = pg[i];
+        dout_[(b * t + i) * c + ch] = pg[i];
       }
     }
   }
 
-  Tensor dx_tokens({n, t, c});
-  std::vector<float> dctx(t * c);
-  std::vector<float> dattn(t * t);
-  std::vector<float> dscore(t * t);
-  std::vector<float> dq(t * c);
-  std::vector<float> dk(t * c);
-  std::vector<float> dv(t * c);
+  dx_tokens_.resize({n, t, c});
+  dctx_.resize(t * c);
+  dattn_.resize(t * t);
+  dscore_.resize(t * t);
+  dq_.resize(t * c);
+  dk_.resize(t * c);
+  dv_.resize(t * c);
 
   for (std::size_t b = 0; b < n; ++b) {
     const float* xb = x_tokens_.data() + b * t * c;
@@ -152,101 +136,53 @@ Tensor SpatialSelfAttention::backward(const Tensor& grad_out) {
     const float* vb = v_.data() + b * t * c;
     const float* ab = attn_.data() + b * t * t;
     const float* cb = ctx_.data() + b * t * c;
-    const float* gb = dout.data() + b * t * c;
-    float* dxb = dx_tokens.data() + b * t * c;
+    const float* gb = dout_.data() + b * t * c;
+    float* dxb = dx_tokens_.data() + b * t * c;
 
-    // Residual: dX += dOut.
-    for (std::size_t i = 0; i < t * c; ++i) dxb[i] = gb[i];
+    // Residual: dX = dOut (projections accumulate on top below).
+    std::copy_n(gb, t * c, dxb);
 
-    // dWo += ctx^T dOut;  dctx = dOut Wo^T.
-    for (std::size_t i = 0; i < t; ++i) {
-      for (std::size_t k = 0; k < c; ++k) {
-        const float cv = cb[i * c + k];
-        float* dwo = wo_.grad.data() + k * c;
-        const float* gi = gb + i * c;
-        for (std::size_t o = 0; o < c; ++o) dwo[o] += cv * gi[o];
-      }
-    }
-    for (std::size_t i = 0; i < t; ++i) {
-      const float* gi = gb + i * c;
-      float* di = dctx.data() + i * c;
-      for (std::size_t k = 0; k < c; ++k) {
-        const float* wok = wo_.value.data() + k * c;
-        float acc = 0.0F;
-        for (std::size_t o = 0; o < c; ++o) acc += gi[o] * wok[o];
-        di[k] = acc;
-      }
-    }
+    // dWo += ctx^T . dOut;  dctx = dOut . Wo^T.
+    tensor::gemm(Trans::kYes, Trans::kNo, c, c, t, cb, c, gb, c,
+                 wo_.grad.data(), c, /*accumulate=*/true);
+    tensor::gemm(Trans::kNo, Trans::kYes, t, c, c, gb, c,
+                 wo_.value.data(), c, dctx_.data(), c, /*accumulate=*/false);
 
-    // dattn = dctx V^T;  dV = A^T dctx.
-    for (std::size_t i = 0; i < t; ++i) {
-      for (std::size_t j = 0; j < t; ++j) {
-        float acc = 0.0F;
-        for (std::size_t d = 0; d < c; ++d) {
-          acc += dctx[i * c + d] * vb[j * c + d];
-        }
-        dattn[i * t + j] = acc;
-      }
-    }
-    std::fill(dv.begin(), dv.end(), 0.0F);
-    for (std::size_t j = 0; j < t; ++j) {
-      for (std::size_t i = 0; i < t; ++i) {
-        const float a = ab[i * t + j];
-        if (a == 0.0F) continue;
-        for (std::size_t d = 0; d < c; ++d) {
-          dv[j * c + d] += a * dctx[i * c + d];
-        }
-      }
-    }
+    // dattn = dctx . V^T;  dV = A^T . dctx.
+    tensor::gemm(Trans::kNo, Trans::kYes, t, t, c, dctx_.data(), c, vb, c,
+                 dattn_.data(), t, /*accumulate=*/false);
+    tensor::gemm(Trans::kYes, Trans::kNo, t, c, t, ab, t, dctx_.data(), c,
+                 dv_.data(), c, /*accumulate=*/false);
 
     // Softmax backward per row.
     for (std::size_t i = 0; i < t; ++i) {
       float row_dot = 0.0F;
       for (std::size_t j = 0; j < t; ++j) {
-        row_dot += dattn[i * t + j] * ab[i * t + j];
+        row_dot += dattn_[i * t + j] * ab[i * t + j];
       }
       for (std::size_t j = 0; j < t; ++j) {
-        dscore[i * t + j] =
-            ab[i * t + j] * (dattn[i * t + j] - row_dot) * inv_scale;
+        dscore_[i * t + j] =
+            ab[i * t + j] * (dattn_[i * t + j] - row_dot) * inv_scale;
       }
     }
 
-    // dQ = dscore K;  dK = dscore^T Q.
-    std::fill(dq.begin(), dq.end(), 0.0F);
-    std::fill(dk.begin(), dk.end(), 0.0F);
-    for (std::size_t i = 0; i < t; ++i) {
-      for (std::size_t j = 0; j < t; ++j) {
-        const float s = dscore[i * t + j];
-        if (s == 0.0F) continue;
-        for (std::size_t d = 0; d < c; ++d) {
-          dq[i * c + d] += s * kb[j * c + d];
-          dk[j * c + d] += s * qb[i * c + d];
-        }
-      }
-    }
+    // dQ = dscore . K;  dK = dscore^T . Q.
+    tensor::gemm(Trans::kNo, Trans::kNo, t, c, t, dscore_.data(), t, kb, c,
+                 dq_.data(), c, /*accumulate=*/false);
+    tensor::gemm(Trans::kYes, Trans::kNo, t, c, t, dscore_.data(), t, qb, c,
+                 dk_.data(), c, /*accumulate=*/false);
 
-    // Projections: dW* += X^T d*;  dX += d* W*^T.
-    auto backprop_proj = [&](const std::vector<float>& dproj, Parameter& w) {
-      for (std::size_t i = 0; i < t; ++i) {
-        const float* xi = xb + i * c;
-        const float* di = dproj.data() + i * c;
-        for (std::size_t k = 0; k < c; ++k) {
-          const float xv = xi[k];
-          float* dwk = w.grad.data() + k * c;
-          for (std::size_t o = 0; o < c; ++o) dwk[o] += xv * di[o];
-        }
-        float* dxi = dxb + i * c;
-        for (std::size_t k = 0; k < c; ++k) {
-          const float* wk = w.value.data() + k * c;
-          float acc = 0.0F;
-          for (std::size_t o = 0; o < c; ++o) acc += di[o] * wk[o];
-          dxi[k] += acc;
-        }
-      }
+    // Projections: dW* += X^T . d*;  dX += d* . W*^T.
+    const auto backprop_proj = [&](const std::vector<float>& dproj,
+                                   Parameter& w) {
+      tensor::gemm(Trans::kYes, Trans::kNo, c, c, t, xb, c, dproj.data(), c,
+                   w.grad.data(), c, /*accumulate=*/true);
+      tensor::gemm(Trans::kNo, Trans::kYes, t, c, c, dproj.data(), c,
+                   w.value.data(), c, dxb, c, /*accumulate=*/true);
     };
-    backprop_proj(dq, wq_);
-    backprop_proj(dk, wk_);
-    backprop_proj(dv, wv_);
+    backprop_proj(dq_, wq_);
+    backprop_proj(dk_, wk_);
+    backprop_proj(dv_, wv_);
   }
 
   // Tokens back to [N, C, H, W].
@@ -255,7 +191,7 @@ Tensor SpatialSelfAttention::backward(const Tensor& grad_out) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       float* pd = dx.data() + (b * c + ch) * t;
       for (std::size_t i = 0; i < t; ++i) {
-        pd[i] = dx_tokens[(b * t + i) * c + ch];
+        pd[i] = dx_tokens_[(b * t + i) * c + ch];
       }
     }
   }

@@ -32,11 +32,17 @@ class SpatialSelfAttention final : public Layer {
   Parameter wk_;
   Parameter wv_;
   Parameter wo_;
-  // Forward cache (per batch).
+  // Forward cache (per batch).  All caches and backward scratch buffers
+  // resize in place, so the steady state reuses their allocations.
   Tensor x_tokens_;  // [N, T, C]
   Tensor q_, k_, v_;
-  Tensor attn_;  // [N, T, T]
-  Tensor ctx_;   // [N, T, C]  (attn * V, pre-output-projection)
+  Tensor attn_;        // [N, T, T]
+  Tensor ctx_;         // [N, T, C]  (attn * V, pre-output-projection)
+  Tensor out_tokens_;  // [N, T, C]  forward output in token layout
+  // Backward scratch (per sample except the token-layout dout/dx).
+  Tensor dout_;
+  Tensor dx_tokens_;
+  std::vector<float> dctx_, dattn_, dscore_, dq_, dk_, dv_;
   std::vector<std::size_t> in_shape_;
 };
 

@@ -38,9 +38,18 @@ class Layer {
   /// Forward pass; `train` toggles batch-stat collection (BatchNorm).
   virtual Tensor forward(const Tensor& x, bool train) = 0;
 
+  /// Rvalue forward: chain drivers (Sequential, Model) hand the activation
+  /// over by value so shape-only layers (Flatten) can reshape the moved
+  /// buffer instead of deep-copying it.  Compute layers keep the const-ref
+  /// overload; this default just binds the argument as an lvalue.
+  virtual Tensor forward(Tensor&& x, bool train) { return forward(x, train); }
+
   /// Backward pass given dL/d(output); returns dL/d(input) and accumulates
   /// parameter gradients.  Must be called after a matching forward.
   virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Rvalue backward, mirroring the rvalue forward.
+  virtual Tensor backward(Tensor&& grad_out) { return backward(grad_out); }
 
   /// Trainable parameters (non-owning, stable across calls).
   virtual std::vector<Parameter*> parameters() { return {}; }

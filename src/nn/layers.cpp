@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
+#include "tensor/gemm.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bprom::nn {
@@ -51,6 +53,40 @@ constexpr std::size_t shard_lo(std::size_t s, std::size_t shards,
   return s * n / shards;
 }
 
+using tensor::Trans;
+
+/// Reduce `shards` contiguous partial buffers of `len` floats with a
+/// fixed-shape pairwise tree: parts[s] += parts[s + stride] for stride =
+/// 1, 2, 4, ...; the total lands in parts[0].  The tree shape depends only
+/// on the shard count, so the summation grouping — and every bit of the
+/// result — is identical for any thread count; pair additions at each
+/// level touch disjoint buffers, so they shard over the pool.  Shared by
+/// Linear and Conv2d (closes the ROADMAP "tree reduction" item).
+void reduce_shards_tree(float* parts, std::size_t shards, std::size_t len) {
+  for (std::size_t stride = 1; stride < shards; stride *= 2) {
+    const std::size_t pairs = (shards - stride + 2 * stride - 1) / (2 * stride);
+    const auto add_pair = [&](std::size_t p) {
+      float* dst = parts + p * 2 * stride * len;
+      const float* src = dst + stride * len;
+      for (std::size_t e = 0; e < len; ++e) dst[e] += src[e];
+    };
+    if (pairs > 1 && pairs * len >= kParallelOps) {
+      util::parallel_for(pairs, add_pair);
+    } else {
+      for (std::size_t p = 0; p < pairs; ++p) add_pair(p);
+    }
+  }
+}
+
+/// db[o] += sum over samples [lo, hi) of g[i, o] (row-major [n, out]).
+void accumulate_bias_grad(const float* g, std::size_t lo, std::size_t hi,
+                          std::size_t out, float* db) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const float* gi = g + i * out;
+    for (std::size_t o = 0; o < out; ++o) db[o] += gi[o];
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Linear
@@ -66,76 +102,66 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   input_ = x;
   const std::size_t n = x.dim(0);
   Tensor y({n, out_});
-  const float* w = weight_.value.data();
+  // y = b (broadcast per row), then y += x . W^T.  The kernel folds
+  // per-KC-panel register sums onto the bias — a different float grouping
+  // than the pre-GEMM scalar loop (expectations were re-baselined), but
+  // one that is bit-identical for any thread count.
   const float* b = bias_.value.data();
-  shard_loop(n, n * out_ * in_, [&](std::size_t i) {
-    const float* xi = x.data() + i * in_;
-    float* yi = y.data() + i * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wo = w + o * in_;
-      float acc = b[o];
-      for (std::size_t k = 0; k < in_; ++k) acc += wo[k] * xi[k];
-      yi[o] = acc;
-    }
-  });
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy_n(b, out_, y.data() + i * out_);
+  }
+  tensor::gemm(Trans::kNo, Trans::kYes, n, out_, in_, x.data(), in_,
+               weight_.value.data(), in_, y.data(), out_,
+               /*accumulate=*/true);
   return y;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
   const std::size_t n = grad_out.dim(0);
   assert(grad_out.dim(1) == out_ && input_.dim(0) == n);
-  // dx is freshly allocated and zero-initialized (Tensor fills with 0.0F),
-  // so the g == 0 fast path below may skip whole rows without ever leaving
-  // stale values behind — the skipped contributions are exactly zero.
+  // dx = G . W as one full-batch GEMM (tile-grid parallel inside the
+  // kernel); zero gradient rows come back exactly zero because every
+  // product in them is ±0 and the row sums to ±0.
   Tensor dx({n, in_});
-  const float* w = weight_.value.data();
-
-  // Accumulate sample range [lo, hi): dx rows are written outright (owned
-  // by the range); dw/db accumulate into the supplied buffers.
-  const auto accumulate = [&](std::size_t lo, std::size_t hi, float* dw,
-                              float* db) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float* gi = grad_out.data() + i * out_;
-      const float* xi = input_.data() + i * in_;
-      float* dxi = dx.data() + i * in_;
-      for (std::size_t o = 0; o < out_; ++o) {
-        const float g = gi[o];
-        if (g == 0.0F) continue;
-        db[o] += g;
-        float* dwo = dw + o * in_;
-        const float* wo = w + o * in_;
-        for (std::size_t k = 0; k < in_; ++k) {
-          dwo[k] += g * xi[k];
-          dxi[k] += g * wo[k];
-        }
-      }
-    }
-  };
+  tensor::gemm(Trans::kNo, Trans::kNo, n, in_, out_, grad_out.data(), out_,
+               weight_.value.data(), in_, dx.data(), in_,
+               /*accumulate=*/false);
 
   const std::size_t ops = n * out_ * in_;
   if (n < 2 || ops < kParallelOps) {
-    accumulate(0, n, weight_.grad.data(), bias_.grad.data());
+    // dW += G^T . X straight into the gradient; db += column sums of G.
+    tensor::gemm(Trans::kYes, Trans::kNo, out_, in_, n, grad_out.data(),
+                 out_, input_.data(), in_, weight_.grad.data(), in_,
+                 /*accumulate=*/true);
+    accumulate_bias_grad(grad_out.data(), 0, n, out_, bias_.grad.data());
     return dx;
   }
 
-  // Batch-sharded: each shard owns a dw/db partial; the partials reduce
-  // into the real gradients in ascending shard order below, so the result
-  // is bit-identical for any thread count.
+  // Batch-sharded: shard s owns dw/db partial buffers filled by one
+  // per-shard GEMM, then the fixed-shape pairwise tree folds the partials
+  // — both the shard grid and the tree depend only on n, so the result is
+  // bit-identical for any thread count.  The partial buffers are persistent
+  // members, so the steady state allocates nothing.
   const std::size_t shards = std::min(n, kGradShards);
-  std::vector<std::vector<float>> dw_part(
-      shards, std::vector<float>(out_ * in_, 0.0F));
-  std::vector<std::vector<float>> db_part(shards,
-                                          std::vector<float>(out_, 0.0F));
+  const std::size_t wlen = out_ * in_;
+  dw_part_.resize(shards * wlen);
+  db_part_.assign(shards * out_, 0.0F);
   util::parallel_for(shards, [&](std::size_t s) {
-    accumulate(shard_lo(s, shards, n), shard_lo(s + 1, shards, n),
-               dw_part[s].data(), db_part[s].data());
+    const std::size_t lo = shard_lo(s, shards, n);
+    const std::size_t hi = shard_lo(s + 1, shards, n);
+    tensor::gemm(Trans::kYes, Trans::kNo, out_, in_, hi - lo,
+                 grad_out.data() + lo * out_, out_,
+                 input_.data() + lo * in_, in_, dw_part_.data() + s * wlen,
+                 in_, /*accumulate=*/false, /*allow_parallel=*/false);
+    accumulate_bias_grad(grad_out.data(), lo, hi, out_,
+                         db_part_.data() + s * out_);
   });
+  reduce_shards_tree(dw_part_.data(), shards, wlen);
+  reduce_shards_tree(db_part_.data(), shards, out_);
   float* dw = weight_.grad.data();
   float* db = bias_.grad.data();
-  for (std::size_t s = 0; s < shards; ++s) {
-    for (std::size_t e = 0; e < out_ * in_; ++e) dw[e] += dw_part[s][e];
-    for (std::size_t o = 0; o < out_; ++o) db[o] += db_part[s][o];
-  }
+  for (std::size_t e = 0; e < wlen; ++e) dw[e] += dw_part_[e];
+  for (std::size_t o = 0; o < out_; ++o) db[o] += db_part_[o];
   return dx;
 }
 
@@ -157,85 +183,99 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   batch_ = x.dim(0);
   geom_ = tensor::ConvGeometry{in_c_, x.dim(2), x.dim(3),
                                kernel_, stride_, pad_};
-  cols_ = tensor::im2col(x, geom_);
+  // The im2col matrix is rebuilt into the persistent member buffer, so the
+  // steady-state forward reuses one allocation across calls.
+  tensor::im2col_into(x, geom_, cols_);
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
+  const std::size_t hw = oh * ow;
   const std::size_t patch = geom_.patch_size();
   Tensor y({batch_, out_c_, oh, ow});
   const float* w = weight_.value.data();
   const float* b = bias_.value.data();
-  // Each sample writes a disjoint output slice — bit-identical when sharded.
-  shard_loop(batch_, batch_ * oh * ow * out_c_ * patch, [&](std::size_t bi) {
-    for (std::size_t p = 0; p < oh * ow; ++p) {
-      const float* col = cols_.data() + (bi * oh * ow + p) * patch;
-      for (std::size_t oc = 0; oc < out_c_; ++oc) {
-        const float* wo = w + oc * patch;
-        float acc = b[oc];
-        for (std::size_t k = 0; k < patch; ++k) acc += wo[k] * col[k];
-        y.data()[((bi * out_c_ + oc) * oh * ow) + p] = acc;
-      }
+  // Per sample: y_b = W . cols_b^T on top of the broadcast bias.  When the
+  // batch loop shards over the pool the per-sample GEMMs stay serial; a
+  // small batch lets one GEMM use the tile grid instead.  Both choices
+  // depend only on problem size, and the kernel arithmetic is identical
+  // either way, so results are bit-identical for any thread count.
+  const bool shard_batch =
+      batch_ > 1 && batch_ * hw * out_c_ * patch >= kParallelOps;
+  const auto sample = [&](std::size_t bi) {
+    float* yb = y.data() + bi * out_c_ * hw;
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      std::fill_n(yb + oc * hw, hw, b[oc]);
     }
-  });
+    tensor::gemm(Trans::kNo, Trans::kYes, out_c_, hw, patch, w, patch,
+                 cols_.data() + bi * hw * patch, patch, yb, hw,
+                 /*accumulate=*/true, /*allow_parallel=*/!shard_batch);
+  };
+  if (shard_batch) {
+    util::parallel_for(batch_, sample);
+  } else {
+    for (std::size_t bi = 0; bi < batch_; ++bi) sample(bi);
+  }
   return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
+  const std::size_t hw = oh * ow;
   const std::size_t patch = geom_.patch_size();
   assert(grad_out.dim(0) == batch_ && grad_out.dim(1) == out_c_);
 
-  // dcols is zero-initialized, so g == 0 skips leave exact zeros behind.
-  Tensor dcols({batch_ * oh * ow, patch});
+  dcols_.resize({batch_ * hw, patch});
   const float* w = weight_.value.data();
+  const std::size_t ops = batch_ * hw * out_c_ * patch;
+  const bool shard_batch = batch_ >= 2 && ops >= kParallelOps;
 
-  // Accumulate sample range [lo, hi): dcol patches are owned by the range;
-  // dw/db accumulate into the supplied buffers.
+  // Accumulate sample range [lo, hi): dcols patches are owned by the range
+  // (dcols_b = G_b^T . W); dw/db accumulate into the supplied buffers
+  // sample-by-sample in ascending order (dW_b = G_b . cols_b).
   const auto accumulate = [&](std::size_t lo, std::size_t hi, float* dw,
                               float* db) {
     for (std::size_t bi = lo; bi < hi; ++bi) {
-      for (std::size_t p = 0; p < oh * ow; ++p) {
-        const float* col = cols_.data() + (bi * oh * ow + p) * patch;
-        float* dcol = dcols.data() + (bi * oh * ow + p) * patch;
-        for (std::size_t oc = 0; oc < out_c_; ++oc) {
-          const float g = grad_out.data()[((bi * out_c_ + oc) * oh * ow) + p];
-          if (g == 0.0F) continue;
-          db[oc] += g;
-          float* dwo = dw + oc * patch;
-          const float* wo = w + oc * patch;
-          for (std::size_t k = 0; k < patch; ++k) {
-            dwo[k] += g * col[k];
-            dcol[k] += g * wo[k];
-          }
-        }
+      const float* gb = grad_out.data() + bi * out_c_ * hw;
+      const float* colb = cols_.data() + bi * hw * patch;
+      tensor::gemm(Trans::kYes, Trans::kNo, hw, patch, out_c_, gb, hw, w,
+                   patch, dcols_.data() + bi * hw * patch, patch,
+                   /*accumulate=*/false, /*allow_parallel=*/!shard_batch);
+      tensor::gemm(Trans::kNo, Trans::kNo, out_c_, patch, hw, gb, hw, colb,
+                   patch, dw, patch, /*accumulate=*/true,
+                   /*allow_parallel=*/!shard_batch);
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* g = gb + oc * hw;
+        float acc = 0.0F;
+        for (std::size_t p = 0; p < hw; ++p) acc += g[p];
+        db[oc] += acc;
       }
     }
   };
 
-  const std::size_t ops = batch_ * oh * ow * out_c_ * patch;
-  if (batch_ < 2 || ops < kParallelOps) {
+  if (!shard_batch) {
     accumulate(0, batch_, weight_.grad.data(), bias_.grad.data());
-    return tensor::col2im(dcols, geom_, batch_);
+    return tensor::col2im(dcols_, geom_, batch_);
   }
 
-  // Batch-sharded GEMM loop with per-shard dw/db partials reduced in fixed
-  // ascending-shard order: bit-identical for any thread count.
+  // Batch-sharded with per-shard dw/db partials folded by the fixed-shape
+  // pairwise tree — shard grid and tree depend only on the batch size, so
+  // the result is bit-identical for any thread count.  Partial buffers are
+  // persistent members: the steady state allocates nothing.
   const std::size_t shards = std::min(batch_, kGradShards);
-  std::vector<std::vector<float>> dw_part(
-      shards, std::vector<float>(out_c_ * patch, 0.0F));
-  std::vector<std::vector<float>> db_part(shards,
-                                          std::vector<float>(out_c_, 0.0F));
+  const std::size_t wlen = out_c_ * patch;
+  dw_part_.assign(shards * wlen, 0.0F);
+  db_part_.assign(shards * out_c_, 0.0F);
   util::parallel_for(shards, [&](std::size_t s) {
     accumulate(shard_lo(s, shards, batch_), shard_lo(s + 1, shards, batch_),
-               dw_part[s].data(), db_part[s].data());
+               dw_part_.data() + s * wlen, db_part_.data() + s * out_c_);
   });
+  reduce_shards_tree(dw_part_.data(), shards, wlen);
+  reduce_shards_tree(db_part_.data(), shards, out_c_);
   float* dw = weight_.grad.data();
   float* db = bias_.grad.data();
-  for (std::size_t s = 0; s < shards; ++s) {
-    for (std::size_t e = 0; e < out_c_ * patch; ++e) dw[e] += dw_part[s][e];
-    for (std::size_t oc = 0; oc < out_c_; ++oc) db[oc] += db_part[s][oc];
-  }
-  return tensor::col2im(dcols, geom_, batch_);
+  for (std::size_t e = 0; e < wlen; ++e) dw[e] += dw_part_[e];
+  for (std::size_t oc = 0; oc < out_c_; ++oc) db[oc] += db_part_[oc];
+  return tensor::col2im(dcols_, geom_, batch_);
 }
 
 // ------------------------------------------------------- DepthwiseConv2d
@@ -393,7 +433,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     batch_inv_std_[c] = 1.0F / std::sqrt(var[c] + eps_);
   }
 
-  normalized_ = Tensor(x.shape());
+  normalized_.resize(x.shape());
   Tensor y(x.shape());
   shard_loop(n, n * channels_ * hw, [&](std::size_t b) {
     for (std::size_t c = 0; c < channels_; ++c) {
@@ -458,7 +498,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 // ------------------------------------------------------------------ ReLU
 
 Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
-  mask_ = Tensor(x.shape());
+  mask_.resize(x.shape());
   Tensor y(x.shape());
   for (std::size_t i = 0; i < x.size(); ++i) {
     const bool pos = x[i] > 0.0F;
@@ -522,7 +562,10 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       for (std::size_t oy = 0; oy < oh; ++oy) {
         for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
-          float best = -1e30F;
+          // Seed below every representable input so windows whose values
+          // are all <= -1e30 still pool their true maximum (the old
+          // -1e30F sentinel clamped them and pointed argmax at index 0).
+          float best = -std::numeric_limits<float>::infinity();
           std::size_t arg = 0;
           for (std::size_t ky = 0; ky < window_; ++ky) {
             for (std::size_t kx = 0; kx < window_; ++kx) {
@@ -596,15 +639,24 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
 
 // ---------------------------------------------------------------- Flatten
 
-Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  return forward(Tensor(x), train);
+}
+
+Tensor Flatten::forward(Tensor&& x, bool /*train*/) {
+  // Shape-only: reshape the moved buffer — no copy of the activation.
   in_shape_ = x.shape();
-  Tensor y = x;
-  y.reshape({x.dim(0), x.size() / x.dim(0)});
+  Tensor y = std::move(x);
+  y.reshape({in_shape_[0], y.size() / in_shape_[0]});
   return y;
 }
 
 Tensor Flatten::backward(const Tensor& grad_out) {
-  Tensor dx = grad_out;
+  return backward(Tensor(grad_out));
+}
+
+Tensor Flatten::backward(Tensor&& grad_out) {
+  Tensor dx = std::move(grad_out);
   dx.reshape(in_shape_);
   return dx;
 }

@@ -32,6 +32,11 @@ class Linear final : public Layer {
   Parameter weight_;  // [out, in]
   Parameter bias_;    // [out]
   Tensor input_;
+  // Per-shard dw/db partials for the batch-sharded backward, reduced by a
+  // fixed-shape pairwise tree; persistent so the steady state allocates
+  // nothing.
+  std::vector<float> dw_part_;
+  std::vector<float> db_part_;
 };
 
 class Conv2d final : public Layer {
@@ -56,7 +61,11 @@ class Conv2d final : public Layer {
   Parameter weight_;  // [out_c, in_c * k * k]
   Parameter bias_;    // [out_c]
   tensor::ConvGeometry geom_;
-  Tensor cols_;  // cached im2col of last forward
+  Tensor cols_;   // cached im2col of last forward (reused allocation)
+  Tensor dcols_;  // column-space gradient scratch (reused allocation)
+  // Per-shard dw/db partials for the batch-sharded backward (see Linear).
+  std::vector<float> dw_part_;
+  std::vector<float> db_part_;
   std::size_t batch_ = 0;
 };
 
@@ -174,7 +183,9 @@ class GlobalAvgPool final : public Layer {
 class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward(Tensor&& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor backward(Tensor&& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Flatten>(*this);
   }

@@ -18,7 +18,7 @@ Model::Model(std::unique_ptr<Sequential> backbone,
 
 Tensor Model::logits(const Tensor& images, bool train) {
   Tensor f = backbone_->forward(images, train);
-  return head_->forward(f, train);
+  return head_->forward(std::move(f), train);
 }
 
 Tensor Model::features(const Tensor& images) {
@@ -58,7 +58,7 @@ double Model::accuracy(const Tensor& images, const std::vector<int>& labels) {
 
 Tensor Model::backward(const Tensor& dlogits) {
   Tensor g = head_->backward(dlogits);
-  return backbone_->backward(g);
+  return backbone_->backward(std::move(g));
 }
 
 std::vector<Parameter*> Model::parameters() {

@@ -3,15 +3,25 @@
 namespace bprom::nn {
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h, train);
+  return forward(Tensor(x), train);
+}
+
+Tensor Sequential::forward(Tensor&& x, bool train) {
+  // Activations move down the chain so shape-only layers (Flatten) can
+  // reshape the buffer in place instead of copying it.
+  Tensor h = std::move(x);
+  for (auto& layer : layers_) h = layer->forward(std::move(h), train);
   return h;
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
+  return backward(Tensor(grad_out));
+}
+
+Tensor Sequential::backward(Tensor&& grad_out) {
+  Tensor g = std::move(grad_out);
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = (*it)->backward(std::move(g));
   }
   return g;
 }

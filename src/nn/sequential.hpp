@@ -25,7 +25,9 @@ class Sequential final : public Layer {
   }
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward(Tensor&& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor backward(Tensor&& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::vector<std::vector<float>*> state() override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;

@@ -15,13 +15,19 @@ constexpr std::size_t kParallelElems = std::size_t{1} << 20;
 }  // namespace
 
 Tensor im2col(const Tensor& input, const ConvGeometry& g) {
+  Tensor cols;
+  im2col_into(input, g, cols);
+  return cols;
+}
+
+void im2col_into(const Tensor& input, const ConvGeometry& g, Tensor& cols) {
   assert(input.rank() == 4);
   const std::size_t n = input.dim(0);
   assert(input.dim(1) == g.in_c && input.dim(2) == g.in_h &&
          input.dim(3) == g.in_w);
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
-  Tensor cols({n * oh * ow, g.patch_size()});
+  cols.resize({n * oh * ow, g.patch_size()});
   const std::size_t sample_elems = oh * ow * g.patch_size();
   const auto fill_sample = [&](std::size_t b) {
     float* out = cols.data() + b * sample_elems;
@@ -52,7 +58,6 @@ Tensor im2col(const Tensor& input, const ConvGeometry& g) {
   } else {
     for (std::size_t b = 0; b < n; ++b) fill_sample(b);
   }
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch) {

@@ -30,7 +30,14 @@ struct ConvGeometry {
 /// output: [N * out_h * out_w, C * k * k]  (row per output location)
 Tensor im2col(const Tensor& input, const ConvGeometry& g);
 
-/// Inverse scatter-add of im2col; returns [N, C, H, W].
+/// im2col into a caller-owned tensor, reusing its allocation when the
+/// capacity suffices — Conv2d keeps one such buffer per layer so the
+/// steady-state forward performs no heap allocation.
+void im2col_into(const Tensor& input, const ConvGeometry& g, Tensor& cols);
+
+/// Inverse scatter-add of im2col; returns [N, C, H, W].  Allocates its
+/// result on purpose: the image-space gradient is handed back to the
+/// caller, unlike the column matrices that stay layer-resident.
 Tensor col2im(const Tensor& cols, const ConvGeometry& g, std::size_t batch);
 
 }  // namespace bprom::tensor

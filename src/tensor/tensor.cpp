@@ -18,6 +18,11 @@ void Tensor::reshape(std::vector<std::size_t> shape) {
   shape_ = std::move(shape);
 }
 
+void Tensor::resize(std::vector<std::size_t> shape) {
+  shape_ = std::move(shape);
+  data_.resize(shape_size(shape_));
+}
+
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 Tensor& Tensor::add(const Tensor& rhs) {

@@ -56,6 +56,11 @@ class Tensor {
   /// Reinterpret shape without copying; product must match size().
   void reshape(std::vector<std::size_t> shape);
 
+  /// Re-dimension in place, reusing the existing allocation whenever the
+  /// capacity suffices (the steady-state path for per-layer scratch
+  /// tensors).  Element values are unspecified afterwards.
+  void resize(std::vector<std::size_t> shape);
+
   void fill(float v);
   void zero() { fill(0.0F); }
 

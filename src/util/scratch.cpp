@@ -1,0 +1,10 @@
+#include "util/scratch.hpp"
+
+namespace bprom::util {
+
+Scratch& Scratch::tls() {
+  thread_local Scratch arena;
+  return arena;
+}
+
+}  // namespace bprom::util

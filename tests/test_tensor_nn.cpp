@@ -170,6 +170,46 @@ TEST(Gradients, LinearZeroGradRowsYieldExactZeroDx) {
   }
 }
 
+// Regression for the old -1e30F pooling sentinel: windows whose inputs are
+// all below it must still return their true maximum (and route the
+// backward gradient to the argmax, not to index 0).
+TEST(MaxPool, PoolsWindowsBelowOldSentinel) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, -2e30F);
+  x.at4(0, 0, 1, 1) = -1.5e30F;  // the true maximum, still below -1e30
+  Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], -1.5e30F);
+
+  Tensor g({1, 1, 1, 1}, 1.0F);
+  Tensor dx = pool.backward(g);
+  EXPECT_FLOAT_EQ(dx.at4(0, 0, 1, 1), 1.0F);
+  EXPECT_FLOAT_EQ(dx.at4(0, 0, 0, 0), 0.0F);
+}
+
+// Flatten must reshape the moved activation buffer, not deep-copy it.
+TEST(Flatten, MovedForwardAndBackwardReuseTheBuffer) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const float* px = x.data();
+  Tensor y = flat.forward(std::move(x), false);
+  EXPECT_EQ(y.data(), px) << "forward deep-copied the activation";
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+
+  const float* py = y.data();
+  Tensor dx = flat.backward(std::move(y));
+  EXPECT_EQ(dx.data(), py) << "backward deep-copied the gradient";
+  EXPECT_EQ(dx.shape(), (std::vector<std::size_t>{2, 3, 4, 4}));
+  EXPECT_FLOAT_EQ(dx[95], 95.0F);
+
+  // The const-ref overloads still behave like value semantics.
+  Tensor x2({2, 3, 4, 4}, 1.0F);
+  Tensor y2 = flat.forward(x2, false);
+  EXPECT_NE(y2.data(), x2.data());
+  EXPECT_EQ(x2.shape(), (std::vector<std::size_t>{2, 3, 4, 4}));
+}
+
 TEST(Loss, SoftmaxRowsSumToOne) {
   util::Rng rng(6);
   Tensor logits = Tensor::randn({4, 5}, rng, 2.0F);
