@@ -1,0 +1,180 @@
+// Serving-path load bench: drives N concurrent async batches through
+// api::AuditEngine's MPMC ring and reports tail latency.  Emits
+// BENCH_serve.json with end-to-end throughput, per-request p50/p95/p99, and
+// the engine profiler's per-stage counters (resolve / inspect / request /
+// queue_wait / queue_depth / batch) — the SLO telemetry of the audit
+// service, tracked per PR like the table benches track accuracy.
+//
+// The detector is fitted at micro scale on synthetic data: this bench
+// measures the serving internals (ring hand-off, queueing, per-request
+// overhead), not inspection quality, so the fit only needs to be real
+// enough to exercise the full inspect path.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "common.hpp"
+#include "nn/blackbox.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace bprom;
+
+core::ExperimentScale micro_scale() {
+  core::ExperimentScale s;
+  s.suspicious_train = 120;
+  s.suspicious_epochs = 2;
+  s.population_per_side = 1;
+  s.shadows_per_side = 2;
+  s.shadow_epochs = 2;
+  s.prompt_epochs = 1;
+  s.blackbox_evals = 40;
+  s.query_samples = 4;
+  s.forest_trees = 20;
+  return s;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void write_report(std::size_t batches, std::size_t batch_size,
+                  double wall_seconds, double throughput,
+                  const std::vector<double>& sorted_ms,
+                  const api::EngineStats& stats) {
+  const char* dir = std::getenv("BPROM_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+      "/BENCH_serve.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"serve\",\n"
+      << "  \"threads\": " << util::default_pool().size() << ",\n"
+      << "  \"batches\": " << batches << ",\n"
+      << "  \"batch_size\": " << batch_size << ",\n"
+      << "  \"requests\": " << batches * batch_size << ",\n"
+      << "  \"wall_seconds\": " << wall_seconds << ",\n"
+      << "  \"throughput_rps\": " << throughput << ",\n"
+      << "  \"latency_ms\": {\"p50\": " << percentile(sorted_ms, 0.50)
+      << ", \"p95\": " << percentile(sorted_ms, 0.95)
+      << ", \"p99\": " << percentile(sorted_ms, 0.99) << "},\n"
+      << "  \"stages\": [";
+  for (std::size_t s = 0; s < util::kProfileStages; ++s) {
+    const auto stage = static_cast<util::ProfileStage>(s);
+    const util::ProfileStageStats& st = stats.profile[stage];
+    out << (s == 0 ? "" : ",") << "\n    {\"stage\": \""
+        << util::profile_stage_name(stage) << "\", \"count\": " << st.count
+        << ", \"avg\": " << st.avg() << ", \"min\": " << st.min
+        << ", \"max\": " << st.max << ", \"p50\": " << st.p50
+        << ", \"p95\": " << st.p95 << ", \"p99\": " << st.p99 << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("bench report: %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  util::Stopwatch total;
+  const std::size_t batches = util::by_scale<std::size_t>(4, 12, 32);
+  const std::size_t batch_size = util::by_scale<std::size_t>(2, 4, 8);
+
+  // One fitted detector, one clean suspicious model; every request audits
+  // its own clone so concurrent inspections never share mutable layers.
+  data::Dataset src = data::make_dataset(data::DatasetKind::kCifar10, 61,
+                                         400, 160);
+  data::Dataset tgt = data::make_dataset(data::DatasetKind::kStl10, 62, 300,
+                                         160);
+  core::BpromDetector detector = core::fit_detector(
+      src, tgt, 0.10, nn::ArchKind::kResNet18Mini, 7, micro_scale());
+  core::TrainedSuspicious suspicious = core::train_clean_model(
+      src, nn::ArchKind::kResNet18Mini, 50, micro_scale());
+  bench::print_elapsed(total, "fit detector + suspicious model");
+
+  const std::string store =
+      (std::filesystem::temp_directory_path() / "bprom_bench_serve").string();
+  std::filesystem::remove_all(store);
+  api::AuditEngine engine({.store_dir = store});
+  if (!engine.publish("aud", std::move(detector)).ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<nn::BlackBoxAdapter>> boxes;
+  boxes.reserve(batches * batch_size);
+  for (std::size_t i = 0; i < batches * batch_size; ++i) {
+    boxes.push_back(
+        std::make_unique<nn::BlackBoxAdapter>(suspicious.model->clone()));
+  }
+
+  // The measured section: submit every batch up front (the ring absorbs
+  // them; overflow blocks, which is the backpressure under test), then
+  // drain the futures.
+  util::Stopwatch wall;
+  std::vector<std::future<std::vector<api::AuditResponse>>> futures;
+  futures.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    std::vector<api::AuditRequest> batch(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch[i].model_id = "m" + std::to_string(b * batch_size + i);
+      batch[i].detector = "aud";
+      batch[i].model = boxes[b * batch_size + i].get();
+    }
+    futures.push_back(engine.audit_async(std::move(batch)));
+  }
+
+  std::vector<double> latency_ms;
+  std::size_t failed = 0;
+  for (auto& future : futures) {
+    for (const api::AuditResponse& response : future.get()) {
+      if (!response.status.ok()) ++failed;
+      latency_ms.push_back(response.seconds * 1e3);
+    }
+  }
+  const double wall_seconds = wall.seconds();
+  bench::print_elapsed(total, "serve load");
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu of %zu requests failed\n", failed,
+                 latency_ms.size());
+    return 1;
+  }
+
+  std::sort(latency_ms.begin(), latency_ms.end());
+  const double throughput =
+      static_cast<double>(latency_ms.size()) / wall_seconds;
+  const api::EngineStats stats = engine.stats();
+
+  std::printf("%zu batches x %zu requests in %.2fs  (%.1f req/s)\n", batches,
+              batch_size, wall_seconds, throughput);
+  std::printf("request latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n",
+              percentile(latency_ms, 0.50), percentile(latency_ms, 0.95),
+              percentile(latency_ms, 0.99));
+  std::printf("%-12s %8s %12s %12s %12s\n", "stage", "count", "avg", "p95",
+              "max");
+  for (std::size_t s = 0; s < util::kProfileStages; ++s) {
+    const auto stage = static_cast<util::ProfileStage>(s);
+    const util::ProfileStageStats& st = stats.profile[stage];
+    std::printf("%-12s %8llu %12.0f %12.0f %12llu\n",
+                util::profile_stage_name(stage),
+                static_cast<unsigned long long>(st.count), st.avg(), st.p95,
+                static_cast<unsigned long long>(st.max));
+  }
+
+  write_report(batches, batch_size, wall_seconds, throughput, latency_ms,
+               stats);
+  return 0;
+}

@@ -45,7 +45,9 @@ Status status_from(const io::IoError& error) {
   return Status::CorruptArtifact(error.what());
 }
 
-AuditEngine::AuditEngine(EngineConfig config) : config_(std::move(config)) {
+AuditEngine::AuditEngine(EngineConfig config)
+    : config_(std::move(config)),
+      async_ring_(std::max<std::size_t>(2, config_.async_queue_capacity)) {
   try {
     store_.emplace(config_.store_dir);
   } catch (const io::IoError& e) {
@@ -53,11 +55,52 @@ AuditEngine::AuditEngine(EngineConfig config) : config_(std::move(config)) {
   } catch (const std::exception& e) {
     init_status_ = Status::Internal(e.what());
   }
+  // Serving workers start even when the store failed to open: async batches
+  // must still come back (with init_status_ per response) instead of
+  // hanging their futures.
+  const std::size_t workers = std::max<std::size_t>(1, config_.async_workers);
+  serve_workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    serve_workers_.emplace_back([this] { serve_loop(); });
+  }
 }
 
 AuditEngine::~AuditEngine() {
-  std::unique_lock<std::mutex> lock(async_mu_);
-  async_cv_.wait(lock, [this] { return async_pending_ == 0; });
+  // Drain-on-destruct: closing the ring stops new submissions; workers pop
+  // whatever is still queued (pop_wait only reports closed once the ring is
+  // empty), fulfill every promise, and exit.  After the joins no thread can
+  // touch this engine again.
+  async_ring_.close();
+  for (auto& worker : serve_workers_) worker.join();
+}
+
+void AuditEngine::serve_loop() {
+  AsyncJob job;
+  while (async_ring_.pop_wait(job) == util::MpmcRing<AsyncJob>::Pop::kItem) {
+    profiler_.record(
+        util::ProfileStage::kQueueWait,
+        static_cast<std::uint64_t>(job.submitted.seconds() * 1e9));
+    profiler_.record_value(util::ProfileStage::kQueueDepth,
+                           async_ring_.size());
+    try {
+      std::vector<AuditResponse> responses;
+      {
+        // Scoped so the sample is recorded BEFORE set_value wakes the
+        // future's owner — a stats() right after future.get() must already
+        // see this batch.
+        util::ScopedProfile batch_timer(&profiler_,
+                                        util::ProfileStage::kBatch);
+        responses = audit_from(job.batch, job.submitted);
+      }
+      job.done.set_value(std::move(responses));
+    } catch (...) {
+      // audit_from reports per-request failures in-band; this catches the
+      // truly exceptional (bad_alloc in the response vector).  The future
+      // must still wake its owner.
+      job.done.set_exception(std::current_exception());
+    }
+    job = AsyncJob{};  // release request references before the next wait
+  }
 }
 
 std::uint32_t AuditEngine::latest_on_disk(const std::string& base) const {
@@ -80,6 +123,7 @@ std::uint32_t AuditEngine::latest_on_disk(const std::string& base) const {
 Result<AuditEngine::Resolved> AuditEngine::resolve(
     const std::string& reference) {
   if (!init_status_.ok()) return init_status_;
+  util::ScopedProfile timer(&profiler_, util::ProfileStage::kResolve);
   std::string base = reference;
   std::uint32_t version = 0;
   const bool pinned = parse_versioned_name(reference, &base, &version);
@@ -140,6 +184,14 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
   }
 
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  // Cross-process exclusivity for the scan-and-write below: the O_EXCL
+  // lock file makes "find the latest version, mint the next one, write it"
+  // atomic against every other engine publishing into this directory, so
+  // two engines can no longer race the scan and clobber each other's
+  // rollover pointer.  (publish_mu_ already serializes engines sharing
+  // this object; the StoreLock extends that to engines sharing only the
+  // directory.)
+  serve::StoreLock store_lock(store_->directory());
   std::uint32_t latest = latest_on_disk(name);
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -147,11 +199,9 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
     if (it != latest_.end()) latest = std::max(latest, it->second);
   }
   // Never overwrite an existing version file: a published name@vN is
-  // immutable (in-flight audits and pinned requests rely on it).  The
-  // contains() walk skips versions already minted by other engines over
-  // this directory — sequentially; truly concurrent publishes from a
-  // *different* engine (this process or another) can still race the walk
-  // and need external coordination (single-writer deployment — ROADMAP).
+  // immutable (in-flight audits and pinned requests rely on it).  Under
+  // the StoreLock the contains() walk is authoritative — no concurrent
+  // writer can mint a version between the walk and the put.
   std::uint32_t next = latest + 1;
   while (store_->contains(versioned_name(name, next))) ++next;
   const std::string stem = versioned_name(name, next);
@@ -167,6 +217,9 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
   detector.set_pool(config_.pool);
   try {
     store_->put(stem, std::move(detector));
+    // Still under the StoreLock: the generation counter is the cheap
+    // cross-process "someone published" signal other engines poll.
+    store_->bump_generation();
   } catch (const io::IoError& e) {
     return status_from(e);
   } catch (const std::exception& e) {
@@ -317,6 +370,8 @@ std::vector<AuditResponse> AuditEngine::audit_from(
     AuditResponse& response = responses[i];
     response.model_id = request.model_id;
     util::Stopwatch watch;
+    util::ScopedProfile request_timer(&profiler_,
+                                      util::ProfileStage::kRequest);
     requests_.fetch_add(1, std::memory_order_relaxed);
 
     const Result<Resolved>& target = resolved.at(request.detector);
@@ -336,14 +391,36 @@ std::vector<AuditResponse> AuditEngine::audit_from(
     } else if (request.deadline_ms > 0 &&
                batch_clock.seconds() * 1e3 >
                    static_cast<double>(request.deadline_ms)) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       response.status = Status::DeadlineExceeded(
           "deadline of " + std::to_string(request.deadline_ms) +
           "ms elapsed before the inspection could start");
     } else {
+      // The deadline rides into inspect() itself: the detector checks it
+      // between prompt-ensemble members, so a mid-flight overrun stops at
+      // the next member boundary instead of running the ensemble to
+      // completion.  The clock is the batch clock — queue wait included.
+      const core::InspectDeadline deadline{batch_clock, request.deadline_ms};
+      const core::InspectDeadline* enforce =
+          request.deadline_ms > 0 ? &deadline : nullptr;
       try {
-        core::Verdict verdict = detector.inspect(*request.model, salts[i]);
+        core::Verdict verdict;
+        {
+          util::ScopedProfile inspect_timer(&profiler_,
+                                            util::ProfileStage::kInspect);
+          verdict = detector.inspect(*request.model, salts[i], enforce);
+        }
         queries_.fetch_add(verdict.queries, std::memory_order_relaxed);
-        if (verdict.budget_exhausted) {
+        if (verdict.deadline_exceeded) {
+          deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+          // Report the exact spend of the aborted inspection so callers
+          // can account for it against their budgets.
+          response.verdict.queries = verdict.queries;
+          response.status = Status::DeadlineExceeded(
+              "deadline of " + std::to_string(request.deadline_ms) +
+              "ms elapsed mid-inspection after " +
+              std::to_string(verdict.queries) + " queries");
+        } else if (verdict.budget_exhausted) {
           response.verdict.queries = verdict.queries;
           response.status = Status::BudgetExhausted(
               "prompt-learning evaluation budget is too small to complete a "
@@ -369,34 +446,18 @@ std::vector<AuditResponse> AuditEngine::audit_from(
 
 std::future<std::vector<AuditResponse>> AuditEngine::audit_async(
     std::vector<AuditRequest> batch) {
-  // Deadlines are measured from submission, so the clock starts here: time
-  // a batch spends queued behind a busy pool counts against it.
-  util::Stopwatch submitted;
-  // Decrements the in-flight count even if the batch throws; notifying
-  // under the lock guarantees the waiting destructor cannot free the
-  // condition variable between our decrement and our notify.
-  struct PendingGuard {
-    AuditEngine* engine;
-    ~PendingGuard() {
-      std::lock_guard<std::mutex> lock(engine->async_mu_);
-      --engine->async_pending_;
-      engine->async_cv_.notify_all();
-    }
-  };
-  auto task =
-      std::make_shared<std::packaged_task<std::vector<AuditResponse>()>>(
-          [this, moved = std::move(batch), submitted] {
-            PendingGuard guard{this};
-            return audit_from(moved, submitted);
-          });
-  auto future = task->get_future();
-  {
-    std::lock_guard<std::mutex> lock(async_mu_);
-    ++async_pending_;
+  AsyncJob job;
+  // Deadlines are measured from submission, so the clock starts here
+  // (AsyncJob's Stopwatch starts on construction): time a batch spends
+  // queued in the ring counts against it.
+  job.batch = std::move(batch);
+  auto future = job.done.get_future();
+  if (!async_ring_.push_wait(std::move(job))) {
+    // The ring only refuses when it is closed — the engine is being torn
+    // down under us.  Run the batch inline so the future is still
+    // fulfilled; push_wait left `job` untouched on failure.
+    job.done.set_value(audit_from(job.batch, job.submitted));
   }
-  util::ThreadPool& executor =
-      config_.pool != nullptr ? *config_.pool : util::default_pool();
-  executor.submit([task] { (*task)(); });
   return future;
 }
 
@@ -406,6 +467,9 @@ EngineStats AuditEngine::stats() const {
   out.verdicts = verdicts_.load(std::memory_order_relaxed);
   out.queries = queries_.load(std::memory_order_relaxed);
   out.rollovers = rollovers_.load(std::memory_order_relaxed);
+  out.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  if (store_.has_value()) out.store_generation = store_->generation();
+  out.profile = profiler_.snapshot();
   return out;
 }
 

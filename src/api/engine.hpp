@@ -15,7 +15,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -23,12 +22,15 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/status.hpp"
 #include "api/types.hpp"
 #include "io/binary.hpp"
 #include "serve/detector_store.hpp"
+#include "util/mpmc_ring.hpp"
+#include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -48,15 +50,32 @@ struct EngineConfig {
   /// Pool audits and fits fan out on; nullptr = process-wide default pool
   /// (BPROM_THREADS).  Borrowed — must outlive the engine.
   util::ThreadPool* pool = nullptr;
+  /// Bounded capacity of the async batch ring (rounded up to a power of
+  /// two).  A full ring is backpressure: audit_async blocks until a worker
+  /// frees a slot, so a flood of submissions degrades into queueing delay
+  /// (visible as queue_wait in the profiler) instead of unbounded memory.
+  std::size_t async_queue_capacity = 64;
+  /// Dedicated serving workers draining the ring.  Each worker runs one
+  /// batch at a time (the batch itself fans out on `pool`), so this is the
+  /// cross-batch concurrency of the async path.
+  std::size_t async_workers = 2;
 };
 
 /// Exact running totals since construction (relaxed atomics; a snapshot,
-/// not a transaction).
+/// not a transaction), plus the always-on profiler's latency counters.
 struct EngineStats {
   std::uint64_t requests = 0;   ///< audit requests processed, ok or not
   std::uint64_t verdicts = 0;   ///< requests that produced a verdict
   std::uint64_t queries = 0;    ///< black-box queries spent, exact
   std::uint64_t rollovers = 0;  ///< publishes that superseded a live version
+  std::uint64_t deadline_misses = 0;  ///< requests failed kDeadlineExceeded
+  /// Cross-process store generation at snapshot time (counts publishes into
+  /// the directory by every engine, not just this one).
+  std::uint64_t store_generation = 0;
+  /// Per-stage latency counters (resolve / inspect / request / queue_wait /
+  /// queue_depth / batch): count, avg, min/max, and p50/p95/p99 — raw units
+  /// nanoseconds for timers, items for queue_depth.
+  util::ProfilerSnapshot profile;
 };
 
 class AuditEngine {
@@ -65,9 +84,9 @@ class AuditEngine {
   /// every subsequent operation reports it.
   explicit AuditEngine(EngineConfig config);
 
-  /// Blocks until every batch dispatched through audit_async() has
-  /// finished: their pool tasks reference this engine, so a future may
-  /// safely outlive the caller's interest but never the engine's memory.
+  /// Drains the async ring and joins the serving workers: every batch
+  /// accepted by audit_async() — running or still queued — completes and
+  /// its future is fulfilled before the engine's memory goes away.
   ~AuditEngine();
 
   AuditEngine(const AuditEngine&) = delete;
@@ -107,10 +126,13 @@ class AuditEngine {
   [[nodiscard]] std::vector<AuditResponse> audit(
       const std::vector<AuditRequest>& batch);
 
-  /// Same semantics, off the calling thread: the whole batch (owned by the
-  /// future) is resolved and dispatched on the engine's pool.  Safe to call
-  /// concurrently with publish(); the batch audits whatever versions it
-  /// resolves when it starts.
+  /// Same semantics, off the calling thread: the batch is handed to the
+  /// serving workers through a bounded lock-free MPMC ring and audited on
+  /// the engine's pool.  Safe to call concurrently with publish() and from
+  /// many threads at once; the batch audits whatever versions it resolves
+  /// when a worker picks it up.  A full ring blocks the caller
+  /// (backpressure) until a slot frees.  Deadlines anchor at submission,
+  /// so ring wait counts against them.
   [[nodiscard]] std::future<std::vector<AuditResponse>> audit_async(
       std::vector<AuditRequest> batch);
 
@@ -150,11 +172,27 @@ class AuditEngine {
   std::atomic<std::uint64_t> verdicts_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> rollovers_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
 
-  /// In-flight audit_async batches; the destructor drains to zero.
-  std::mutex async_mu_;
-  std::condition_variable async_cv_;
-  std::size_t async_pending_ = 0;
+  /// Always-on latency telemetry.  Mutable: stats() is logically const but
+  /// a snapshot flips the profiler's epoch buffers.
+  mutable util::Profiler profiler_;
+
+  /// One queued async batch: the requests, the promise its future watches,
+  /// and the submission clock deadlines anchor to.
+  struct AsyncJob {
+    std::vector<AuditRequest> batch;
+    std::promise<std::vector<AuditResponse>> done;
+    util::Stopwatch submitted;
+  };
+
+  /// Worker loop: pop batches off the ring until it is closed and drained.
+  void serve_loop();
+
+  /// Bounded lock-free hand-off from audit_async() to the serving workers
+  /// (replaces the PR 4 mutex+condvar pending counter).
+  util::MpmcRing<AsyncJob> async_ring_;
+  std::vector<std::thread> serve_workers_;
 };
 
 }  // namespace bprom::api

@@ -7,6 +7,7 @@
 
 #include "data/ops.hpp"
 #include "util/log.hpp"
+#include "util/scratch.hpp"
 
 namespace bprom::core {
 
@@ -30,24 +31,37 @@ std::vector<float> BpromDetector::meta_feature_vector(
   // Block 1 — the paper's Algorithm 1 features: the q query confidence
   // vectors, plus the per-query probability mass on the class the learned
   // output mapping expects (the per-query form of prompted accuracy).
+  // The row staging buffer comes from the thread's scratch arena — this
+  // runs once per ensemble member per inspection, and the loop never
+  // re-enters the pool, so the pointer is safe for its whole extent.
+  float* row_buf =
+      util::Scratch::tls().buffer<float>(util::Scratch::kMetaRow, k);
   for (std::size_t i = 0; i < q; ++i) {
-    std::vector<float> row(probs.data() + i * k, probs.data() + (i + 1) * k);
+    std::copy(probs.data() + i * k, probs.data() + (i + 1) * k, row_buf);
     const auto label = static_cast<std::size_t>(query_set_.labels[i]);
-    features.push_back(row[static_cast<std::size_t>(mapping[label])]);
+    features.push_back(row_buf[static_cast<std::size_t>(mapping[label])]);
     if (!config_.include_query_features) continue;
     if (config_.sort_confidence_features) {
-      std::sort(row.begin(), row.end(), std::greater<float>());
+      std::sort(row_buf, row_buf + k, std::greater<float>());
     }
-    features.insert(features.end(), row.begin(), row.end());
+    features.insert(features.end(), row_buf, row_buf + k);
   }
 
   // Block 2 — distribution-level class-subspace-inconsistency summaries
   // over the full D_T sets (low-variance forms of the paper's signal; see
   // DESIGN.md §2).  All derive from black-box confidence vectors.
   nn::Tensor train_probs = prompted.predict_proba(target_train_.images);
-  std::vector<std::size_t> pred_hist(k, 0);
-  std::vector<std::vector<std::size_t>> confusion(
-      target_classes_, std::vector<std::size_t>(k, 0));
+  // Scratch-backed counting buffers, claimed only after the predict_proba
+  // pool fan-out above (scratch pointers must never straddle a
+  // parallel_for).  Histogram and per-class counts share one slot; the
+  // confusion matrix is flattened target-major.
+  std::size_t* pred_hist = util::Scratch::tls().buffer<std::size_t>(
+      util::Scratch::kMetaHist, k + target_classes_);
+  std::size_t* class_n = pred_hist + k;
+  std::fill(pred_hist, pred_hist + k + target_classes_, std::size_t{0});
+  std::size_t* confusion = util::Scratch::tls().buffer<std::size_t>(
+      util::Scratch::kMetaConfusion, target_classes_ * k);
+  std::fill(confusion, confusion + target_classes_ * k, std::size_t{0});
   double mean_max = 0.0;
   double mean_entropy = 0.0;
   const std::size_t n_train = target_train_.size();
@@ -63,23 +77,22 @@ std::vector<float> BpromDetector::meta_feature_vector(
       }
     }
     ++pred_hist[arg];
-    ++confusion[static_cast<std::size_t>(target_train_.labels[i])][arg];
+    ++confusion[static_cast<std::size_t>(target_train_.labels[i]) * k + arg];
     mean_max += row[arg];
     mean_entropy += entropy;
   }
   // Dominance: mass of the most-predicted source class ("target class
   // adjacent to all others" concentrates predictions).
   const double dominance =
-      static_cast<double>(
-          *std::max_element(pred_hist.begin(), pred_hist.end())) /
+      static_cast<double>(*std::max_element(pred_hist, pred_hist + k)) /
       static_cast<double>(n_train);
   // Collisions: how many target classes share their most-frequent source
   // prediction with another target class (subspace merging).
   std::vector<std::size_t> raw_map(target_classes_);
   for (std::size_t t = 0; t < target_classes_; ++t) {
-    raw_map[t] = static_cast<std::size_t>(
-        std::max_element(confusion[t].begin(), confusion[t].end()) -
-        confusion[t].begin());
+    const std::size_t* crow = confusion + t * k;
+    raw_map[t] =
+        static_cast<std::size_t>(std::max_element(crow, crow + k) - crow);
   }
   std::vector<std::size_t> distinct = raw_map;
   std::sort(distinct.begin(), distinct.end());
@@ -90,8 +103,9 @@ std::vector<float> BpromDetector::meta_feature_vector(
                             static_cast<double>(target_classes_);
   // Per-class mapped accuracy profile on D_T^train, sorted ascending:
   // a poisoned source model caps several classes near zero.
-  std::vector<float> class_acc(target_classes_, 0.0F);
-  std::vector<std::size_t> class_n(target_classes_, 0);
+  float* class_acc = util::Scratch::tls().buffer<float>(
+      util::Scratch::kMetaClassAcc, target_classes_);
+  std::fill(class_acc, class_acc + target_classes_, 0.0F);
   for (std::size_t i = 0; i < n_train; ++i) {
     const float* row = train_probs.data() + i * k;
     std::size_t arg = 0;
@@ -105,13 +119,13 @@ std::vector<float> BpromDetector::meta_feature_vector(
   for (std::size_t t = 0; t < target_classes_; ++t) {
     if (class_n[t] > 0) class_acc[t] /= static_cast<float>(class_n[t]);
   }
-  std::sort(class_acc.begin(), class_acc.end());
+  std::sort(class_acc, class_acc + target_classes_);
 
   features.push_back(static_cast<float>(dominance));
   features.push_back(static_cast<float>(collisions));
   features.push_back(static_cast<float>(mean_max / n_train));
   features.push_back(static_cast<float>(mean_entropy / n_train));
-  features.insert(features.end(), class_acc.begin(), class_acc.end());
+  features.insert(features.end(), class_acc, class_acc + target_classes_);
   return features;
 }
 
@@ -257,7 +271,8 @@ api::Status BpromDetector::inspectable(const nn::BlackBoxModel* model) const {
 }
 
 Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
-                               std::uint64_t seed_salt) const {
+                               std::uint64_t seed_salt,
+                               const InspectDeadline* deadline) const {
   assert(fitted_);
   assert(suspicious.num_classes() == source_classes_);
   const std::size_t queries_before = suspicious.query_count();
@@ -278,8 +293,18 @@ Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
   // back explicitly for the verdict's accounting to stay exact.
   std::vector<std::size_t> hidden_queries(ensemble, 0);
   std::vector<char> exhausted(ensemble, 0);
+  std::vector<char> skipped(ensemble, 0);
 
   const auto run_member = [&](std::size_t r, const nn::BlackBoxModel& box) {
+    // The deadline boundary: a member either starts in time and runs to
+    // completion (an optimization cannot be split mid-stream) or is skipped
+    // outright.  On a serial run this is literally "between ensemble
+    // members"; on a replica run it gates each member as its turn comes up
+    // on the pool.
+    if (deadline != nullptr && deadline->expired()) {
+      skipped[r] = 1;
+      return;
+    }
     vp::BlackBoxPromptConfig pc = config_.prompt_blackbox;
     pc.seed = config_.prompt_blackbox.seed + seed_salt + 7919 * (r + 1);
     auto bb = vp::learn_prompt_blackbox(box, target_train_, pc);
@@ -315,6 +340,21 @@ Verdict BpromDetector::inspect(const nn::BlackBoxModel& suspicious,
     // activations), so a non-replicable black box runs the ensemble
     // serially — same per-member work, same results.
     for (std::size_t r = 0; r < ensemble; ++r) run_member(r, suspicious);
+  }
+
+  // A deadline abort short-circuits the reduction: some feature slots were
+  // never filled, and the verdict's only meaningful payload is the exact
+  // query spend of the members that did run.
+  bool any_skipped = false;
+  for (char s : skipped) any_skipped |= (s != 0);
+  if (any_skipped) {
+    verdict.deadline_exceeded = true;
+    verdict.queries = suspicious.query_count() - queries_before;
+    for (const auto& replica : replicas) {
+      verdict.queries += replica->query_count();
+    }
+    for (std::size_t q : hidden_queries) verdict.queries += q;
+    return verdict;
   }
 
   // Reduce in ascending member order so the float accumulation matches the

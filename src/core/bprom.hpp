@@ -13,11 +13,13 @@
 // same q confidence vectors, ask the forest.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "api/status.hpp"
+#include "util/stopwatch.hpp"
 #include "attacks/poisoner.hpp"
 #include "meta/random_forest.hpp"
 #include "nn/arch.hpp"
@@ -92,6 +94,30 @@ struct Verdict {
   /// unoptimized-prompt values, not a real detection.  The api façade turns
   /// this into Status::kBudgetExhausted instead of a silent default.
   bool budget_exhausted = false;
+  /// True when an InspectDeadline expired mid-inspection: at least one
+  /// prompt-ensemble member was skipped, so score/prompted_accuracy are
+  /// meaningless — but `queries` still reports exactly what the aborted
+  /// inspection spent (the caller's budget accounting owes its users that).
+  /// The api façade turns this into Status::kDeadlineExceeded.
+  bool deadline_exceeded = false;
+};
+
+/// Wall-clock deadline threaded into inspect() by serving layers.  The
+/// clock is anchored wherever the caller started it (api::AuditEngine
+/// anchors at batch submission, so async queue wait counts), and inspect()
+/// re-checks it between prompt-ensemble members — the coarsest boundary at
+/// which aborting cannot split a CMA-ES/SPSA optimization mid-stream.
+/// Deadlines are inherently wall-clock and therefore the one knob that can
+/// make results thread-count-dependent; pass nullptr when reproducibility
+/// matters.
+struct InspectDeadline {
+  util::Stopwatch clock;       ///< started by the serving layer
+  std::uint64_t deadline_ms = 0;  ///< 0 disables
+
+  [[nodiscard]] bool expired() const {
+    return deadline_ms > 0 &&
+           clock.seconds() * 1e3 > static_cast<double>(deadline_ms);
+  }
 };
 
 /// Diagnostics captured during fit() for analysis benches / figures.
@@ -120,9 +146,14 @@ class BpromDetector {
   /// replicate(); results are bit-identical to the serial path for any
   /// thread count.  `seed_salt` offsets the ensemble prompt seeds — serving
   /// layers pass per-request pre-split salts; 0 reproduces the historical
-  /// seeding.
+  /// seeding.  A non-null `deadline` is re-checked between ensemble
+  /// members: once it expires, remaining members are skipped and the
+  /// verdict comes back with deadline_exceeded set and the exact queries
+  /// spent so far (see Verdict::deadline_exceeded).
   [[nodiscard]] Verdict inspect(const nn::BlackBoxModel& suspicious,
-                                std::uint64_t seed_salt = 0) const;
+                                std::uint64_t seed_salt = 0,
+                                const InspectDeadline* deadline = nullptr)
+      const;
 
   /// Typed precondition check for inspect(): OK when `model` is non-null,
   /// the detector is fitted, and the class counts agree.  inspect() itself

@@ -1,13 +1,68 @@
 #include "serve/detector_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "io/serialize.hpp"
 
 namespace bprom::serve {
 
 namespace fs = std::filesystem;
+
+StoreLock::StoreLock(const std::string& directory)
+    : path_((fs::path(directory) / kLockName).string()) {
+  for (unsigned spins = 0;; ++spins) {
+    // O_EXCL is the whole mechanism: exactly one creator wins, atomically,
+    // across processes.
+    const int fd = ::open(path_.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      // Best-effort breadcrumb for humans inspecting a contended store.
+      char pid[32];
+      const int len = std::snprintf(pid, sizeof(pid), "%ld\n",
+                                    static_cast<long>(::getpid()));
+      if (len > 0) {
+        [[maybe_unused]] const auto ignored =
+            ::write(fd, pid, static_cast<std::size_t>(len));
+      }
+      ::close(fd);
+      return;
+    }
+    if (errno != EEXIST) {
+      throw io::IoError("cannot create publish lock " + path_,
+                        io::ErrorKind::kIo);
+    }
+    // Held by someone else.  Break it only when it is provably debris: a
+    // publish spans one directory scan plus one container write, so a lock
+    // older than kStaleAfterSeconds belongs to a crashed writer.
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(path_, ec);
+    if (!ec) {
+      const auto age = std::chrono::duration<double>(
+          fs::file_time_type::clock::now() - mtime);
+      if (age.count() > kStaleAfterSeconds) {
+        fs::remove(path_, ec);  // racing breakers are fine: O_EXCL re-decides
+        continue;
+      }
+    }
+    if (spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+StoreLock::~StoreLock() {
+  std::error_code ec;
+  fs::remove(path_, ec);
+}
 
 DetectorStore::DetectorStore(std::string directory)
     : dir_(std::move(directory)) {
@@ -77,6 +132,34 @@ std::vector<std::string> DetectorStore::list() const {
 void DetectorStore::evict(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.erase(name);
+}
+
+std::uint64_t DetectorStore::generation() const {
+  std::ifstream in((fs::path(dir_) / ".generation").string());
+  std::uint64_t gen = 0;
+  if (in >> gen) return gen;
+  return 0;
+}
+
+std::uint64_t DetectorStore::bump_generation() {
+  const std::uint64_t next = generation() + 1;
+  const std::string path = (fs::path(dir_) / ".generation").string();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw io::IoError("cannot write store generation " + tmp,
+                        io::ErrorKind::kIo);
+    }
+    out << next << "\n";
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw io::IoError("cannot move " + tmp + " into place: " + ec.message(),
+                      io::ErrorKind::kIo);
+  }
+  return next;
 }
 
 }  // namespace bprom::serve

@@ -13,6 +13,7 @@
 // requests, so one cached detector serves a whole audit fleet.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,32 @@
 #include "core/bprom.hpp"
 
 namespace bprom::serve {
+
+/// Cross-process publish lock over a store directory, held for the span of
+/// a scan-and-write rollover.  The lock is an O_EXCL-created file
+/// (`.publish.lock`) inside the directory: creation is atomic on every
+/// POSIX filesystem, so exactly one engine — in this process or any other —
+/// can hold it.  The constructor spins (yield + millisecond naps) until it
+/// wins; the destructor unlinks.  A lock file whose mtime is older than
+/// `kStaleAfterSeconds` is treated as the debris of a crashed writer and
+/// broken — publishes take milliseconds, so a minute-old lock is never
+/// live.
+class StoreLock {
+ public:
+  static constexpr const char* kLockName = ".publish.lock";
+  static constexpr double kStaleAfterSeconds = 60.0;
+
+  /// Blocks until acquired.  Throws io::IoError when the directory cannot
+  /// hold a lock file at all (missing, unwritable).
+  explicit StoreLock(const std::string& directory);
+  ~StoreLock();
+
+  StoreLock(const StoreLock&) = delete;
+  StoreLock& operator=(const StoreLock&) = delete;
+
+ private:
+  std::string path_;
+};
 
 class DetectorStore {
  public:
@@ -54,6 +81,17 @@ class DetectorStore {
 
   /// Drop a name from the in-memory cache (the file stays on disk).
   void evict(const std::string& name);
+
+  /// Store generation: a counter file (`.generation`) bumped by every
+  /// publish, under the StoreLock.  Readers use it as a cheap cross-process
+  /// change signal — "has anyone published since I last looked?" without a
+  /// directory walk.  0 means the store predates generations (or is empty).
+  [[nodiscard]] std::uint64_t generation() const;
+
+  /// Increment and persist the generation (temp-file + rename, so readers
+  /// never see a torn counter).  Callers must hold the StoreLock — the
+  /// read-modify-write is not atomic on its own.
+  std::uint64_t bump_generation();
 
  private:
   std::string dir_;

@@ -1,0 +1,131 @@
+#include "util/profiler.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace bprom::util {
+
+namespace {
+
+/// Bucket index: position of the highest set bit, so bucket b spans
+/// [2^(b-1), 2^b) and bucket 0 holds exact zeros.
+std::size_t bucket_of(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+/// Representative value of bucket b — the geometric center of its span.
+/// Clamped by the observed min/max when a percentile is extracted, so tiny
+/// sample counts stay sane.
+double bucket_mid(std::size_t b) {
+  if (b == 0) return 0.0;
+  const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+  return lo * 1.5;
+}
+
+}  // namespace
+
+const char* profile_stage_name(ProfileStage stage) {
+  switch (stage) {
+    case ProfileStage::kResolve:
+      return "resolve";
+    case ProfileStage::kInspect:
+      return "inspect";
+    case ProfileStage::kRequest:
+      return "request";
+    case ProfileStage::kQueueWait:
+      return "queue_wait";
+    case ProfileStage::kQueueDepth:
+      return "queue_depth";
+    case ProfileStage::kBatch:
+      return "batch";
+    case ProfileStage::kStageCount:
+      break;
+  }
+  return "unknown";
+}
+
+Profiler::Profiler() = default;
+
+void Profiler::record(ProfileStage stage, std::uint64_t value) {
+  // The epoch read and every RMW below are relaxed: samples are integers
+  // folded commutatively, so no ordering between them is ever observed.
+  Epoch& epoch = epochs_[live_.load(std::memory_order_relaxed) & 1U];
+  StageCounters& c = epoch.stages[static_cast<std::size_t>(stage)];
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = c.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !c.min.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+  seen = c.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !c.max.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+  c.histogram[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::fold_and_reset(Epoch& epoch) {
+  for (std::size_t s = 0; s < kProfileStages; ++s) {
+    StageCounters& src = epoch.stages[s];
+    CumulativeStage& dst = cumulative_[s];
+    const std::uint64_t count = src.count.exchange(0,
+                                                   std::memory_order_relaxed);
+    const std::uint64_t sum = src.sum.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t mn =
+        src.min.exchange(~std::uint64_t{0}, std::memory_order_relaxed);
+    const std::uint64_t mx = src.max.exchange(0, std::memory_order_relaxed);
+    if (count == 0) continue;
+    dst.count += count;
+    dst.sum += static_cast<double>(sum);
+    dst.min = std::min(dst.min, mn);
+    dst.max = std::max(dst.max, mx);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      dst.histogram[b] +=
+          src.histogram[b].exchange(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+ProfilerSnapshot Profiler::snapshot() {
+  std::lock_guard<std::mutex> lock(reader_mu_);
+  // Flip, then fold the buffer writers just vacated.  Writers mid-record
+  // against the old index finish into the buffer we are folding — their
+  // relaxed RMWs and our relaxed exchanges interleave atomically, so every
+  // sample lands in exactly one fold.
+  const std::uint32_t retired = live_.fetch_add(1, std::memory_order_relaxed);
+  fold_and_reset(epochs_[retired & 1U]);
+
+  ProfilerSnapshot out;
+  for (std::size_t s = 0; s < kProfileStages; ++s) {
+    const CumulativeStage& c = cumulative_[s];
+    ProfileStageStats& stats = out.stages[s];
+    stats.count = c.count;
+    stats.sum = c.sum;
+    if (c.count == 0) continue;
+    stats.min = c.min;
+    stats.max = c.max;
+    const auto percentile = [&](double q) {
+      const auto rank = static_cast<std::uint64_t>(
+          q * static_cast<double>(c.count - 1));
+      std::uint64_t seen = 0;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += c.histogram[b];
+        if (seen > rank) {
+          const double mid = bucket_mid(b);
+          // The histogram only knows the bucket; min/max tighten the edges.
+          return std::clamp(mid, static_cast<double>(c.min),
+                            static_cast<double>(c.max));
+        }
+      }
+      return static_cast<double>(c.max);
+    };
+    stats.p50 = percentile(0.50);
+    stats.p95 = percentile(0.95);
+    stats.p99 = percentile(0.99);
+  }
+  return out;
+}
+
+}  // namespace bprom::util

@@ -1,0 +1,153 @@
+// Always-on serving profiler: atomic per-stage counters (count/avg/min/max)
+// plus a log₂ latency histogram per stage, double-buffered in epochs so
+// readers never block writers.
+//
+// The discipline is that of a real-time engine's profiler: recording a
+// sample is a handful of relaxed atomic RMWs into the live epoch buffer —
+// no locks, no allocation, cheap enough to leave on in production.  A
+// reader (stats export, bench report) flips the epoch, folds the retired
+// buffer into a cumulative snapshot under its own mutex, and zeroes it for
+// reuse.  A writer that straddles the flip lands its sample in whichever
+// buffer its epoch read selected; the sample is never lost and never torn,
+// it is merely attributed to the neighboring epoch — the standard (and
+// harmless) slack of epoch-buffered telemetry.
+//
+// Stages are a fixed enum: the audit path records wall time for resolve /
+// inspect / whole-request / queue-wait, and instantaneous values (queue
+// depth) through the same channel with record_value().  Histogram buckets
+// are powers of two of the raw unit (nanoseconds for timers), which is
+// what makes p50/p95/p99 extraction allocation-free and O(64).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace bprom::util {
+
+/// Instrumented serving stages.  Extend here; names in profiler.cpp.
+enum class ProfileStage : std::size_t {
+  kResolve = 0,   ///< detector reference -> live handle (ns)
+  kInspect,       ///< BpromDetector::inspect wall time (ns)
+  kRequest,       ///< whole per-request audit wall time (ns)
+  kQueueWait,     ///< async batch: submit -> worker pickup (ns)
+  kQueueDepth,    ///< async ring occupancy sampled at submit/pickup (items)
+  kBatch,         ///< whole async batch wall time, pickup -> done (ns)
+  kStageCount,
+};
+
+inline constexpr std::size_t kProfileStages =
+    static_cast<std::size_t>(ProfileStage::kStageCount);
+
+/// Human-readable stage name ("resolve", "inspect", ...).
+const char* profile_stage_name(ProfileStage stage);
+
+/// Folded statistics of one stage.  Raw units: nanoseconds for timer
+/// stages, items for kQueueDepth.  Percentiles come from the log₂
+/// histogram and are exact to within their power-of-two bucket.
+struct ProfileStageStats {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] double avg() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+struct ProfilerSnapshot {
+  std::array<ProfileStageStats, kProfileStages> stages;
+
+  [[nodiscard]] const ProfileStageStats& operator[](ProfileStage s) const {
+    return stages[static_cast<std::size_t>(s)];
+  }
+};
+
+class Profiler {
+ public:
+  Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Record one sample (relaxed atomics into the live epoch buffer).
+  void record(ProfileStage stage, std::uint64_t value);
+
+  /// Alias that reads as intended at value-sampling call sites.
+  void record_value(ProfileStage stage, std::uint64_t value) {
+    record(stage, value);
+  }
+
+  /// Cumulative statistics since construction: flips the epoch, folds the
+  /// retired buffer into the running totals, and returns them.  Readers
+  /// serialize among themselves on an internal mutex; writers never touch
+  /// it.
+  ProfilerSnapshot snapshot();
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+
+  struct StageCounters {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> histogram{};
+  };
+
+  struct Epoch {
+    std::array<StageCounters, kProfileStages> stages;
+  };
+
+  /// Fold `epoch` into cumulative_ (mutex held) and zero it for reuse.
+  void fold_and_reset(Epoch& epoch);
+
+  Epoch epochs_[2];
+  std::atomic<std::uint32_t> live_{0};
+
+  std::mutex reader_mu_;
+  struct CumulativeStage {
+    std::uint64_t count = 0;
+    std::uint64_t min = ~std::uint64_t{0};
+    std::uint64_t max = 0;
+    double sum = 0.0;
+    std::array<std::uint64_t, kBuckets> histogram{};
+  };
+  std::array<CumulativeStage, kProfileStages> cumulative_;
+};
+
+/// RAII wall-clock sample: records the scope's duration in nanoseconds.
+/// A null profiler disables the timer (zero-cost guard for optional
+/// instrumentation).
+class ScopedProfile {
+ public:
+  ScopedProfile(Profiler* profiler, ProfileStage stage)
+      : profiler_(profiler), stage_(stage) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedProfile() {
+    if (profiler_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    profiler_->record(stage_, static_cast<std::uint64_t>(ns));
+  }
+
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+ private:
+  Profiler* profiler_;
+  ProfileStage stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bprom::util

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "data/ops.hpp"
+#include "util/scratch.hpp"
 
 namespace bprom::vp {
 namespace {
@@ -78,8 +79,12 @@ Tensor VisualPrompt::apply(const Tensor& target) const {
   Tensor canvas({n, canvas_.channels, canvas_.height, canvas_.width});
   const std::size_t plane = canvas_.height * canvas_.width * canvas_.channels;
   if (mode_ == PromptMode::kBorder) {
-    // Border fill (same for every sample) + embedded content.
-    std::vector<float> squashed(theta_.size());
+    // Border fill (same for every sample) + embedded content.  The
+    // squashed field lives in the thread's scratch arena: apply() runs once
+    // per optimizer evaluation, so in steady state this allocates nothing.
+    // No pool re-entry happens between here and the last read below.
+    float* squashed = util::Scratch::tls().buffer<float>(
+        util::Scratch::kPromptField, theta_.size());
     for (std::size_t i = 0; i < theta_.size(); ++i) {
       squashed[i] = logistic(theta_[i]);
     }
@@ -102,9 +107,12 @@ Tensor VisualPrompt::apply(const Tensor& target) const {
   // Additive modes: gray base, embedded content, then the perturbation
   // field added everywhere through a tanh squash, clipped to [0, 1].
   const std::size_t hw = canvas_.height * canvas_.width;
-  std::vector<float> delta;  // per-pixel additive field (coarse mode)
+  float* delta = nullptr;  // per-pixel additive field (coarse mode)
   if (mode_ == PromptMode::kAdditiveCoarse) {
-    delta.assign(canvas_.channels * hw, 0.0F);
+    // Scratch-backed like the border fill above (same slot — the two
+    // fields never coexist within one call).
+    delta = util::Scratch::tls().buffer<float>(util::Scratch::kPromptField,
+                                               canvas_.channels * hw);
     for (std::size_t c = 0; c < canvas_.channels; ++c) {
       const float* tc = &theta_[c * kGrid * kGrid];
       for (std::size_t p = 0; p < hw; ++p) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/scratch.hpp"
+
 namespace bprom::vp {
 
 PromptedModel::PromptedModel(const nn::BlackBoxModel& model,
@@ -21,11 +23,18 @@ double PromptedModel::accuracy(const nn::LabeledData& target_data) const {
   std::size_t hits = 0;
   constexpr std::size_t kBatch = 128;
   const std::size_t sample = target_data.images.size() / target_data.size();
+  // One staging tensor reused across full batches; only the final ragged
+  // batch (if any) reshapes it.  accuracy() is the inner loop of prompt
+  // learning, so the per-batch allocation used to dominate small models.
+  std::vector<std::size_t> shape = target_data.images.shape();
+  shape[0] = std::min(kBatch, target_data.size());
+  Tensor batch(shape);
   for (std::size_t begin = 0; begin < target_data.size(); begin += kBatch) {
     const std::size_t end = std::min(begin + kBatch, target_data.size());
-    std::vector<std::size_t> shape = target_data.images.shape();
-    shape[0] = end - begin;
-    Tensor batch(shape);
+    if (end - begin != batch.dim(0)) {
+      shape[0] = end - begin;
+      batch = Tensor(shape);
+    }
     std::copy(target_data.images.data() + begin * sample,
               target_data.images.data() + end * sample, batch.data());
     Tensor probs = predict_proba(batch);
@@ -54,17 +63,20 @@ std::vector<int> fit_frequency_label_mapping(const PromptedModel& prompted,
                                              std::size_t target_classes) {
   const std::size_t ks = prompted.model().num_classes();
   assert(target_classes <= ks);
-  // Confusion counts C[t][s].
-  std::vector<std::vector<double>> counts(
-      target_classes, std::vector<double>(ks, 0.0));
   Tensor probs = prompted.predict_proba(dt_train.images);
+  // Confusion counts C[t][s], flattened target-major in the thread's
+  // scratch arena.  Claimed only after the predict_proba fan-out above —
+  // scratch pointers must never straddle a parallel_for.
+  double* counts = util::Scratch::tls().buffer<double>(
+      util::Scratch::kMetaConfusion, target_classes * ks);
+  std::fill(counts, counts + target_classes * ks, 0.0);
   for (std::size_t i = 0; i < dt_train.size(); ++i) {
     const float* row = probs.data() + i * ks;
     std::size_t arg = 0;
     for (std::size_t j = 1; j < ks; ++j) {
       if (row[j] > row[arg]) arg = j;
     }
-    counts[static_cast<std::size_t>(dt_train.labels[i])][arg] += 1.0;
+    counts[static_cast<std::size_t>(dt_train.labels[i]) * ks + arg] += 1.0;
   }
   // Greedy one-to-one assignment by descending count.
   std::vector<int> mapping(target_classes, -1);
@@ -77,8 +89,8 @@ std::vector<int> fit_frequency_label_mapping(const PromptedModel& prompted,
       if (mapping[t] >= 0) continue;
       for (std::size_t s = 0; s < ks; ++s) {
         if (source_used[s]) continue;
-        if (counts[t][s] > best) {
-          best = counts[t][s];
+        if (counts[t * ks + s] > best) {
+          best = counts[t * ks + s];
           bt = t;
           bs = s;
         }

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -398,6 +400,170 @@ TEST(ApiEngine, RolloverWhileAuditingFinishesOnOldVersion) {
   nn::BlackBoxAdapter next(*fixture().suspicious.model);
   EXPECT_EQ(engine.audit({request_for("aud", &next)})[0].detector_version,
             "aud@v2");
+}
+
+/// Queries at a crawl so a deadline reliably expires mid-inspection.  No
+/// replicate(): the ensemble runs serially, making "between members" a real
+/// boundary on any pool size.
+class SlowBox final : public nn::BlackBoxModel {
+ public:
+  explicit SlowBox(nn::Model& model) : inner_(model) {}
+  nn::Tensor predict_proba(const nn::Tensor& images) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    return inner_.predict_proba(images);
+  }
+  [[nodiscard]] std::size_t num_classes() const override {
+    return inner_.num_classes();
+  }
+  [[nodiscard]] nn::ImageShape input_shape() const override {
+    return inner_.input_shape();
+  }
+  [[nodiscard]] std::size_t query_count() const override {
+    return inner_.query_count();
+  }
+
+ private:
+  nn::BlackBoxAdapter inner_;
+};
+
+TEST(ApiEngine, DeadlineExceededMidAuditReportsExactSpend) {
+  api::AuditEngine engine({.store_dir = fresh_dir("bprom_api_middl")});
+  ASSERT_TRUE(engine.publish("aud", fixture().detector).ok());
+
+  // The deadline is generous enough that the audit starts (the pre-start
+  // check passes) but far too tight for even the first ensemble member of
+  // a 25ms-per-query model — so the overrun is caught at the member
+  // boundary inside inspect(), the regression under test (pre-fix, the
+  // inspection ran to completion and returned a stale verdict).
+  SlowBox slow(*fixture().suspicious.model);
+  auto request = request_for("aud", &slow);
+  request.deadline_ms = 100;
+  const auto responses = engine.audit({request});
+  ASSERT_EQ(responses.size(), 1U);
+  EXPECT_EQ(responses[0].status.code(), api::StatusCode::kDeadlineExceeded);
+  // Mid-flight (not pre-start): queries were really spent, and the spend
+  // is reported exactly so callers can meter paid models.
+  EXPECT_GT(responses[0].verdict.queries, 0U);
+  EXPECT_GT(slow.query_count(), 0U);
+  // The aborted inspection never reaches the meta-classifier: no verdict.
+  EXPECT_EQ(engine.stats().verdicts, 0U);
+  EXPECT_EQ(engine.stats().deadline_misses, 1U);
+}
+
+TEST(ApiEngine, DeadlineAlreadyExpiredFailsBeforeAnyQuery) {
+  api::AuditEngine engine({.store_dir = fresh_dir("bprom_api_predl")});
+  ASSERT_TRUE(engine.publish("aud", fixture().detector).ok());
+  nn::BlackBoxAdapter box(*fixture().suspicious.model);
+  auto request = request_for("aud", &box);
+  request.deadline_ms = 1;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // audit() anchors its clock at entry; force the pre-start path by an
+  // already-hopeless deadline through the async surface, whose clock
+  // anchors at submission.
+  auto future = engine.audit_async({request});
+  const auto responses = future.get();
+  ASSERT_EQ(responses.size(), 1U);
+  EXPECT_EQ(responses[0].status.code(), api::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(box.query_count(), 0U);  // never queried
+  EXPECT_EQ(engine.stats().deadline_misses, 1U);
+}
+
+TEST(ApiEngine, TwoEnginesPublishingConcurrentlyNeverCollide) {
+  const std::string dir = fresh_dir("bprom_api_twowriters");
+  api::AuditEngine left({.store_dir = dir});
+  api::AuditEngine right({.store_dir = dir});
+  ASSERT_TRUE(left.status().ok());
+  ASSERT_TRUE(right.status().ok());
+
+  // Pre-fix, both engines could scan the directory concurrently, mint the
+  // same "aud@vN", and one publish would silently vanish.  Under the
+  // StoreLock every publish mints a distinct version.
+  constexpr int kPerEngine = 3;
+  std::atomic<int> failures{0};
+  auto publisher = [&failures](api::AuditEngine& engine) {
+    for (int i = 0; i < kPerEngine; ++i) {
+      if (!engine.publish("aud", fixture().detector).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+  std::thread a(publisher, std::ref(left));
+  std::thread b(publisher, std::ref(right));
+  a.join();
+  b.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // All 2k versions exist — none was overwritten or skipped.
+  api::AuditEngine fresh({.store_dir = dir});
+  const auto listed = fresh.list();
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed.value().size(), 2U * kPerEngine);
+  for (int v = 1; v <= 2 * kPerEngine; ++v) {
+    EXPECT_TRUE(fresh.info("aud@v" + std::to_string(v)).ok()) << v;
+  }
+  // The store generation counted every publish, across both engines.
+  EXPECT_EQ(fresh.stats().store_generation,
+            static_cast<std::uint64_t>(2 * kPerEngine));
+  // No lock debris left behind.
+  EXPECT_FALSE(fs::exists(fs::path(dir) / serve::StoreLock::kLockName));
+}
+
+TEST(ApiEngine, AsyncVerdictsMatchSyncThroughTheRing) {
+  api::AuditEngine engine({.store_dir = fresh_dir("bprom_api_ringdet")});
+  ASSERT_TRUE(engine.publish("aud", fixture().detector).ok());
+
+  // The ring hand-off must not perturb determinism: the same batch through
+  // audit() and audit_async() yields bit-identical verdicts (salts depend
+  // on batch index only, never on which worker popped the job).
+  nn::BlackBoxAdapter sync0(*fixture().suspicious.model);
+  nn::BlackBoxAdapter sync1(*fixture().suspicious.model);
+  const auto sync = engine.audit(
+      {request_for("aud", &sync0, "a"), request_for("aud", &sync1, "b")});
+  nn::BlackBoxAdapter async0(*fixture().suspicious.model);
+  nn::BlackBoxAdapter async1(*fixture().suspicious.model);
+  const auto async = engine
+                         .audit_async({request_for("aud", &async0, "a"),
+                                       request_for("aud", &async1, "b")})
+                         .get();
+  ASSERT_EQ(async.size(), 2U);
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(sync[i].status.ok());
+    ASSERT_TRUE(async[i].status.ok());
+    EXPECT_EQ(async[i].verdict.score, sync[i].verdict.score);
+    EXPECT_EQ(async[i].verdict.queries, sync[i].verdict.queries);
+  }
+
+  // The always-on profiler saw the traffic: queue wait + batch timing for
+  // the async batch, per-request and resolve samples for both.
+  const auto stats = engine.stats();
+  EXPECT_GE(stats.profile[util::ProfileStage::kQueueWait].count, 1U);
+  EXPECT_GE(stats.profile[util::ProfileStage::kBatch].count, 1U);
+  EXPECT_GE(stats.profile[util::ProfileStage::kRequest].count, 4U);
+  EXPECT_GT(stats.profile[util::ProfileStage::kRequest].max, 0U);
+}
+
+TEST(ApiEngine, DestructorDrainsQueuedAsyncBatches) {
+  std::vector<std::future<std::vector<api::AuditResponse>>> futures;
+  std::vector<std::unique_ptr<nn::BlackBoxAdapter>> boxes;
+  {
+    api::AuditEngine engine({.store_dir = fresh_dir("bprom_api_drain"),
+                             .async_queue_capacity = 4,
+                             .async_workers = 1});
+    ASSERT_TRUE(engine.publish("aud", fixture().detector).ok());
+    // More batches than workers: some are still queued in the ring when
+    // the engine starts tearing down.  Every future must still resolve.
+    for (int i = 0; i < 6; ++i) {
+      boxes.push_back(std::make_unique<nn::BlackBoxAdapter>(
+          *fixture().suspicious.model));
+      futures.push_back(engine.audit_async(
+          {request_for("aud", boxes.back().get(), "m" + std::to_string(i))}));
+    }
+  }  // ~AuditEngine: close ring, drain, join
+  for (auto& future : futures) {
+    const auto responses = future.get();  // must not hang or throw
+    ASSERT_EQ(responses.size(), 1U);
+    EXPECT_TRUE(responses[0].status.ok());
+  }
 }
 
 TEST(ApiEngine, LegacyUnversionedContainersResolveAsV1) {

@@ -2,8 +2,14 @@
 // the detector store cache, and batched audits.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "api/engine.hpp"
 #include "core/experiment.hpp"
@@ -206,6 +212,87 @@ TEST(AuditEngine, BatchVerdictsAreThreadCountInvariant) {
   EXPECT_EQ(serial.back().status.code(), api::StatusCode::kInvalidRequest);
   EXPECT_EQ(parallel.back().status.code(), api::StatusCode::kInvalidRequest);
   std::filesystem::remove_all(dir);
+}
+
+TEST(StoreLock, MutualExclusionAcrossHolders) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "bprom_storelock_mx").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Contending holders must never overlap their critical sections — the
+  // exact property the publish scan-and-write relies on.
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<int> entries{0};
+  std::vector<std::thread> holders;
+  for (int t = 0; t < 4; ++t) {
+    holders.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        serve::StoreLock lock(dir);
+        const int now = inside.fetch_add(1) + 1;
+        int seen = max_inside.load();
+        while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+        }
+        entries.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& h : holders) h.join();
+  EXPECT_EQ(entries.load(), 20);
+  EXPECT_EQ(max_inside.load(), 1);
+  // Released: the lock file is gone and a fresh acquire succeeds at once.
+  EXPECT_FALSE(fs::exists(fs::path(dir) / serve::StoreLock::kLockName));
+  serve::StoreLock fresh(dir);
+  fs::remove_all(dir);
+}
+
+TEST(StoreLock, StaleLockFromCrashedWriterIsBroken) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "bprom_storelock_stale").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path lock_path = fs::path(dir) / serve::StoreLock::kLockName;
+  {
+    std::ofstream out(lock_path.string());
+    out << "999999\n";  // debris of a "crashed" writer
+  }
+  // Age the file past the stale threshold; acquisition must break it
+  // instead of spinning forever.
+  fs::last_write_time(
+      lock_path, fs::file_time_type::clock::now() -
+                     std::chrono::seconds(
+                         static_cast<long>(
+                             serve::StoreLock::kStaleAfterSeconds) + 10));
+  serve::StoreLock lock(dir);
+  SUCCEED();  // acquired despite the debris
+  fs::remove_all(dir);
+}
+
+TEST(DetectorStore, GenerationCounterPersistsAcrossInstances) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "bprom_store_gen").string();
+  fs::remove_all(dir);
+  {
+    serve::DetectorStore store(dir);
+    EXPECT_EQ(store.generation(), 0U);  // pre-generation stores read as 0
+    EXPECT_EQ(store.bump_generation(), 1U);
+    EXPECT_EQ(store.bump_generation(), 2U);
+    EXPECT_EQ(store.generation(), 2U);
+  }
+  // A second store over the same directory — another process, in effect —
+  // observes the persisted counter.
+  serve::DetectorStore reopened(dir);
+  EXPECT_EQ(reopened.generation(), 2U);
+  EXPECT_EQ(reopened.bump_generation(), 3U);
+  // The counter file is store metadata, not a detector: list() skips it.
+  EXPECT_TRUE(reopened.list().empty());
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/env.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -238,6 +241,91 @@ TEST(Env, ScaleDefaultsToNormal) {
 
 TEST(Env, EnvSizeFallback) {
   EXPECT_EQ(env_size("BPROM_DEFINITELY_UNSET_VAR", 77u), 77u);
+}
+
+TEST(Profiler, CountMinMaxAvgExact) {
+  Profiler profiler;
+  profiler.record(ProfileStage::kResolve, 100);
+  profiler.record(ProfileStage::kResolve, 300);
+  profiler.record(ProfileStage::kResolve, 200);
+  const ProfilerSnapshot snap = profiler.snapshot();
+  const ProfileStageStats& s = snap[ProfileStage::kResolve];
+  EXPECT_EQ(s.count, 3U);
+  EXPECT_EQ(s.min, 100U);
+  EXPECT_EQ(s.max, 300U);
+  EXPECT_DOUBLE_EQ(s.avg(), 200.0);
+  // Untouched stages stay zero.
+  EXPECT_EQ(snap[ProfileStage::kInspect].count, 0U);
+  EXPECT_EQ(snap[ProfileStage::kInspect].min, 0U);
+}
+
+TEST(Profiler, SnapshotsAreCumulative) {
+  Profiler profiler;
+  profiler.record(ProfileStage::kRequest, 10);
+  EXPECT_EQ(profiler.snapshot()[ProfileStage::kRequest].count, 1U);
+  profiler.record(ProfileStage::kRequest, 20);
+  // The epoch flip must fold, not reset: totals only grow.
+  const ProfilerSnapshot snap = profiler.snapshot();
+  const ProfileStageStats& s = snap[ProfileStage::kRequest];
+  EXPECT_EQ(s.count, 2U);
+  EXPECT_EQ(s.min, 10U);
+  EXPECT_EQ(s.max, 20U);
+}
+
+TEST(Profiler, PercentilesLandInTheRightBucket) {
+  Profiler profiler;
+  // 95 fast samples, 5 slow outliers: p50/p95 must stay with the fast
+  // mass (nearest-rank index 94 of 100 is still fast), p99 must reach the
+  // outliers' bucket (log2 buckets: exact to within a power of two, and
+  // always clamped inside [min, max]).
+  for (int i = 0; i < 95; ++i) profiler.record(ProfileStage::kInspect, 1000);
+  for (int i = 0; i < 5; ++i) {
+    profiler.record(ProfileStage::kInspect, 1000000);
+  }
+  const ProfilerSnapshot snap = profiler.snapshot();
+  const ProfileStageStats& s = snap[ProfileStage::kInspect];
+  EXPECT_EQ(s.count, 100U);
+  EXPECT_GE(s.p50, 512.0);
+  EXPECT_LE(s.p50, 2048.0);
+  EXPECT_LE(s.p95, 2048.0);
+  EXPECT_GE(s.p99, 500000.0);
+  EXPECT_LE(s.p99, 1000000.0);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_GE(s.p99, s.p95);
+}
+
+TEST(Profiler, ConcurrentWritersLoseNoSamples) {
+  Profiler profiler;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 50000;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&profiler] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        profiler.record(ProfileStage::kQueueWait, (i % 7) + 1);
+      }
+    });
+  }
+  // A reader flipping epochs mid-stream must not lose or tear samples.
+  for (int i = 0; i < 50; ++i) {
+    (void)profiler.snapshot();
+    std::this_thread::yield();
+  }
+  for (auto& w : writers) w.join();
+  const ProfilerSnapshot snap = profiler.snapshot();
+  const ProfileStageStats& s = snap[ProfileStage::kQueueWait];
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.min, 1U);
+  EXPECT_EQ(s.max, 7U);
+}
+
+TEST(Profiler, ScopedProfileRecordsAndNullDisables) {
+  Profiler profiler;
+  { ScopedProfile timer(&profiler, ProfileStage::kBatch); }
+  { ScopedProfile disabled(nullptr, ProfileStage::kBatch); }
+  const ProfilerSnapshot snap = profiler.snapshot();
+  const ProfileStageStats& s = snap[ProfileStage::kBatch];
+  EXPECT_EQ(s.count, 1U);  // the null-profiler scope recorded nothing
 }
 
 }  // namespace
