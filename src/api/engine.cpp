@@ -103,6 +103,11 @@ void AuditEngine::serve_loop() {
   }
 }
 
+std::uint32_t AuditEngine::latest_floor_locked(const std::string& base) const {
+  auto it = latest_.find(base);
+  return it != latest_.end() ? it->second : 0;
+}
+
 std::uint32_t AuditEngine::latest_on_disk(const std::string& base) const {
   std::uint32_t latest = 0;
   for (const auto& stem : store_->list()) {
@@ -135,9 +140,8 @@ Result<AuditEngine::Resolved> AuditEngine::resolve(
     // (this engine's own publishes); the disk scan additionally picks up
     // versions published over the same directory by other processes.
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
-      auto it = latest_.find(base);
-      if (it != latest_.end()) version = it->second;
+      util::MutexLock lock(state_mu_);
+      version = latest_floor_locked(base);
     }
     version = std::max(version, latest_on_disk(base));
     if (version == 0) {
@@ -163,7 +167,7 @@ Result<AuditEngine::Resolved> AuditEngine::resolve(
     // Remember the newest version seen by bare lookups.  Pinned resolves
     // must not touch the pointer: serving an old "name@v1" is routine and
     // must never drag later bare lookups backwards.
-    std::lock_guard<std::mutex> lock(state_mu_);
+    util::MutexLock lock(state_mu_);
     auto& slot = latest_[base];
     slot = std::max(slot, version);
   }
@@ -183,7 +187,7 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
     return Status::FailedPrecondition("cannot publish an unfitted detector");
   }
 
-  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  util::MutexLock publish_lock(publish_mu_);
   // Cross-process exclusivity for the scan-and-write below: the O_EXCL
   // lock file makes "find the latest version, mint the next one, write it"
   // atomic against every other engine publishing into this directory, so
@@ -194,9 +198,8 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
   serve::StoreLock store_lock(store_->directory());
   std::uint32_t latest = latest_on_disk(name);
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    auto it = latest_.find(name);
-    if (it != latest_.end()) latest = std::max(latest, it->second);
+    util::MutexLock lock(state_mu_);
+    latest = std::max(latest, latest_floor_locked(name));
   }
   // Never overwrite an existing version file: a published name@vN is
   // immutable (in-flight audits and pinned requests rely on it).  Under
@@ -228,10 +231,12 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
   {
     // The rollover itself: bare-name lookups see `next` from here on, while
     // handles resolved earlier keep their shared_ptr to the old version.
-    std::lock_guard<std::mutex> lock(state_mu_);
+    util::MutexLock lock(state_mu_);
     latest_[name] = next;
   }
   if (latest > 0) {
+    // relaxed: statistics tally — stats() reads a snapshot, not a
+    // transaction, and no other memory is published through the counter.
     rollovers_.fetch_add(1, std::memory_order_relaxed);
     // Release the superseded version's cache slot: long-lived engines refit
     // routinely and only the newest version serves bare names, so keeping
@@ -345,6 +350,8 @@ std::vector<AuditResponse> AuditEngine::audit_from(
       responses[i].model_id = batch[i].model_id;
       responses[i].status = init_status_;
     }
+    // relaxed: statistics tally (see EngineStats — snapshot, not
+    // transaction); nothing is ordered through these counters.
     requests_.fetch_add(n, std::memory_order_relaxed);
     return responses;
   }
@@ -372,6 +379,7 @@ std::vector<AuditResponse> AuditEngine::audit_from(
     util::Stopwatch watch;
     util::ScopedProfile request_timer(&profiler_,
                                       util::ProfileStage::kRequest);
+    // relaxed: statistics tally, same contract as every counter below.
     requests_.fetch_add(1, std::memory_order_relaxed);
 
     const Result<Resolved>& target = resolved.at(request.detector);
@@ -391,6 +399,7 @@ std::vector<AuditResponse> AuditEngine::audit_from(
     } else if (request.deadline_ms > 0 &&
                batch_clock.seconds() * 1e3 >
                    static_cast<double>(request.deadline_ms)) {
+      // relaxed: statistics tally.
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       response.status = Status::DeadlineExceeded(
           "deadline of " + std::to_string(request.deadline_ms) +
@@ -410,8 +419,11 @@ std::vector<AuditResponse> AuditEngine::audit_from(
                                             util::ProfileStage::kInspect);
           verdict = detector.inspect(*request.model, salts[i], enforce);
         }
+        // relaxed: statistics tally — exactness comes from every path
+        // adding its spend once, not from ordering.
         queries_.fetch_add(verdict.queries, std::memory_order_relaxed);
         if (verdict.deadline_exceeded) {
+          // relaxed: statistics tally.
           deadline_misses_.fetch_add(1, std::memory_order_relaxed);
           // Report the exact spend of the aborted inspection so callers
           // can account for it against their budgets.
@@ -433,6 +445,7 @@ std::vector<AuditResponse> AuditEngine::audit_from(
               std::to_string(request.query_budget));
         } else {
           response.verdict = verdict;
+          // relaxed: statistics tally.
           verdicts_.fetch_add(1, std::memory_order_relaxed);
         }
       } catch (const std::exception& e) {
@@ -463,11 +476,14 @@ std::future<std::vector<AuditResponse>> AuditEngine::audit_async(
 
 EngineStats AuditEngine::stats() const {
   EngineStats out;
+  // relaxed: a snapshot, not a transaction (documented on EngineStats) —
+  // counters may be mid-update while we read; each load is atomic.
   out.requests = requests_.load(std::memory_order_relaxed);
   out.verdicts = verdicts_.load(std::memory_order_relaxed);
-  out.queries = queries_.load(std::memory_order_relaxed);
-  out.rollovers = rollovers_.load(std::memory_order_relaxed);
-  out.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  out.queries = queries_.load(std::memory_order_relaxed);      // relaxed: ^
+  out.rollovers = rollovers_.load(std::memory_order_relaxed);  // relaxed: ^
+  out.deadline_misses =
+      deadline_misses_.load(std::memory_order_relaxed);  // relaxed: see above
   if (store_.has_value()) out.store_generation = store_->generation();
   out.profile = profiler_.snapshot();
   return out;

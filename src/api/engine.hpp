@@ -19,7 +19,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -32,6 +31,7 @@
 #include "util/mpmc_ring.hpp"
 #include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bprom::api {
@@ -146,6 +146,10 @@ class AuditEngine {
 
   /// Resolve "name" / "name@vN" to a live handle + metadata.
   Result<Resolved> resolve(const std::string& reference);
+  /// Newest version of `base` this engine has published or resolved (the
+  /// in-memory floor the disk scan tops up); 0 when unknown.
+  [[nodiscard]] std::uint32_t latest_floor_locked(const std::string& base)
+      const BPROM_REQUIRES(state_mu_);
   /// Shared batch loop; `batch_clock` anchors deadline_ms (started at
   /// submission by audit_async, at entry by the synchronous audit).
   std::vector<AuditResponse> audit_from(const std::vector<AuditRequest>& batch,
@@ -161,12 +165,14 @@ class AuditEngine {
   std::optional<serve::DetectorStore> store_;
 
   /// Serializes publishes so two concurrent publishes cannot mint the same
-  /// version number.
-  std::mutex publish_mu_;
+  /// version number.  Always taken before state_mu_ (publish updates the
+  /// rollover pointer at the end of its critical section) — the annotation
+  /// lets clang prove no path inverts the order.
+  util::Mutex publish_mu_ BPROM_ACQUIRED_BEFORE(state_mu_);
   /// Guards latest_: the in-memory rollover pointer (name -> newest
   /// version published or resolved by this engine).
-  mutable std::mutex state_mu_;
-  std::map<std::string, std::uint32_t> latest_;
+  mutable util::Mutex state_mu_;
+  std::map<std::string, std::uint32_t> latest_ BPROM_GUARDED_BY(state_mu_);
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> verdicts_{0};
@@ -192,6 +198,10 @@ class AuditEngine {
   /// Bounded lock-free hand-off from audit_async() to the serving workers
   /// (replaces the PR 4 mutex+condvar pending counter).
   util::MpmcRing<AsyncJob> async_ring_;
+  // Dedicated long-lived serving threads: routing them through the
+  // work-assisting ThreadPool would deadlock the pool (workers block in
+  // pop_wait), and they never touch batch-order-dependent math.
+  // bprom-lint: allow(raw-thread)
   std::vector<std::thread> serve_workers_;
 };
 

@@ -242,6 +242,7 @@ std::vector<double> teco_scores(nn::Model& model, const Tensor& inputs,
               for (std::size_t y = 1; y + 1 < h; ++y) {
                 for (std::size_t x = 1; x + 1 < w; ++x) {
                   float acc = 0.0F;
+                  // ordered: fixed 3x3 stencil walk, dy-major.
                   for (int dy = -1; dy <= 1; ++dy) {
                     for (int dx = -1; dx <= 1; ++dx) {
                       acc += corrupted.at4(
@@ -305,10 +306,11 @@ std::vector<double> ted_scores(nn::Model& model, const Tensor& inputs,
     std::vector<std::pair<double, std::size_t>> dist(ref_n);
     for (std::size_t r = 0; r < ref_n; ++r) {
       double acc = 0.0;
+      // ordered: ascending feature index, per reference row.
       for (std::size_t j = 0; j < d; ++j) {
         const double diff = input_features.data()[i * d + j] -
                             ref_features.data()[r * d + j];
-        acc += diff * diff;
+        acc += diff * diff;  // ordered: see above
       }
       dist[r] = {acc, r};
     }

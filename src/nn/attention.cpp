@@ -74,9 +74,11 @@ Tensor SpatialSelfAttention::forward(const Tensor& x, bool /*train*/) {
         if (s > maxv) maxv = s;
       }
       float denom = 0.0F;
+      // ordered: ascending j within the row — softmax rows are sharded
+      // whole, so the sum order never depends on thread count.
       for (std::size_t j = 0; j < t; ++j) {
         ab[i * t + j] = std::exp(ab[i * t + j] - maxv);
-        denom += ab[i * t + j];
+        denom += ab[i * t + j];  // ordered: see above
       }
       for (std::size_t j = 0; j < t; ++j) ab[i * t + j] /= denom;
     }
@@ -157,6 +159,7 @@ Tensor SpatialSelfAttention::backward(const Tensor& grad_out) {
     // Softmax backward per row.
     for (std::size_t i = 0; i < t; ++i) {
       float row_dot = 0.0F;
+      // ordered: ascending j within the row, mirroring the forward pass.
       for (std::size_t j = 0; j < t; ++j) {
         row_dot += dattn_[i * t + j] * ab[i * t + j];
       }

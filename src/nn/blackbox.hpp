@@ -58,11 +58,15 @@ class BlackBoxAdapter final : public BlackBoxModel {
   BlackBoxAdapter(BlackBoxAdapter&& other) noexcept
       : owned_(std::move(other.owned_)),
         model_(other.model_),
+        // relaxed: moves require external quiescence anyway (no concurrent
+        // queries on `other`), so the read needs atomicity only in form.
         queries_(other.queries_.load(std::memory_order_relaxed)) {
     other.model_ = nullptr;
   }
 
   Tensor predict_proba(const Tensor& images) const override {
+    // relaxed: a pure tally — totals are read after the fan-out joins
+    // (which synchronizes), never used to order other memory.
     queries_.fetch_add(images.dim(0), std::memory_order_relaxed);
     return model_->predict_proba(images);
   }
@@ -74,6 +78,7 @@ class BlackBoxAdapter final : public BlackBoxModel {
     return model_->input_shape();
   }
   [[nodiscard]] std::size_t query_count() const override {
+    // relaxed: callers read totals only at join points (see fetch_add).
     return queries_.load(std::memory_order_relaxed);
   }
 

@@ -246,6 +246,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       for (std::size_t oc = 0; oc < out_c_; ++oc) {
         const float* g = gb + oc * hw;
         float acc = 0.0F;
+        // ordered: sequential over the spatial plane, every thread count.
         for (std::size_t p = 0; p < hw; ++p) acc += g[p];
         db[oc] += acc;
       }
@@ -316,6 +317,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, bool /*train*/) {
               const long ix = static_cast<long>(ox * stride_ + kx) -
                               static_cast<long>(pad_);
               if (ix < 0 || ix >= static_cast<long>(w)) continue;
+              // ordered: fixed ky/kx kernel walk per output pixel.
               acc += wc[ky * kernel_ + kx] *
                      x.at4(b, c, static_cast<std::size_t>(iy),
                            static_cast<std::size_t>(ix));
@@ -403,6 +405,8 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       for (std::size_t b = 0; b < n; ++b) {
         const float* px = x.data() + (b * channels_ + c) * hw;
         float acc = 0.0F;
+        // ordered: batch-major then spatial, independent of thread count
+        // (the shard owns the whole channel).
         for (std::size_t i = 0; i < hw; ++i) acc += px[i];
         total += acc;
       }
@@ -413,11 +417,13 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       for (std::size_t b = 0; b < n; ++b) {
         const float* px = x.data() + (b * channels_ + c) * hw;
         float acc = 0.0F;
+        // ordered: batch-major then spatial, same walk as the mean pass
+        // (shards own whole channels, so order is thread-count-invariant).
         for (std::size_t i = 0; i < hw; ++i) {
           const float d = px[i] - batch_mean_[c];
-          acc += d * d;
+          acc += d * d;   // ordered: see above
         }
-        total += acc;
+        total += acc;  // ordered: see above
       }
       var[c] = total / count;
       running_mean_[c] =
@@ -468,9 +474,11 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
     for (std::size_t b = 0; b < n; ++b) {
       const float* pg = grad_out.data() + (b * channels_ + c) * hw;
       const float* pn = normalized_.data() + (b * channels_ + c) * hw;
+      // ordered: batch-major then spatial — the backward reductions use
+      // the exact walk of the forward statistics.
       for (std::size_t i = 0; i < hw; ++i) {
         sum_g += pg[i];
-        sum_gx += pg[i] * pn[i];
+        sum_gx += pg[i] * pn[i];  // ordered: see above
       }
     }
     gamma_.grad[c] += sum_gx;
@@ -615,6 +623,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* px = x.data() + (b * c + ch) * hw;
       float acc = 0.0F;
+      // ordered: sequential over the pooled plane (shards split on b only).
       for (std::size_t i = 0; i < hw; ++i) acc += px[i];
       y.at2(b, ch) = acc / static_cast<float>(hw);
     }

@@ -16,6 +16,7 @@ Tensor softmax(const Tensor& logits) {
     float maxv = row[0];
     for (std::size_t j = 1; j < k; ++j) maxv = std::max(maxv, row[j]);
     float denom = 0.0F;
+    // ordered: ascending class index within the row.
     for (std::size_t j = 0; j < k; ++j) {
       out[j] = std::exp(row[j] - maxv);
       denom += out[j];

@@ -84,32 +84,39 @@ std::shared_ptr<const core::BpromDetector> DetectorStore::put(
   io::save_detector_file(path_for(name), detector);
   auto handle =
       std::make_shared<const core::BpromDetector>(std::move(detector));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_[name] = handle;
   return handle;
+}
+
+std::shared_ptr<const core::BpromDetector> DetectorStore::cached_locked(
+    const std::string& name) const {
+  auto it = cache_.find(name);
+  return it != cache_.end() ? it->second : nullptr;
 }
 
 std::shared_ptr<const core::BpromDetector> DetectorStore::get(
     const std::string& name, util::ThreadPool* pool_for_loaded) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(name);
-    if (it != cache_.end()) return it->second;
+    util::MutexLock lock(mu_);
+    if (auto hit = cached_locked(name)) return hit;
   }
   // Load outside the lock so a slow disk read does not serialize unrelated
-  // lookups; first insertion wins if two threads race on the same name.
+  // lookups; first insertion wins if two threads race on the same name
+  // (emplace never overwrites, so the loser adopts the winner's handle and
+  // its own load is discarded — both threads hand out one shared detector).
   core::BpromDetector detector = io::load_detector_file(path_for(name));
   detector.set_pool(pool_for_loaded);
   auto loaded =
       std::make_shared<const core::BpromDetector>(std::move(detector));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return cache_.emplace(name, std::move(loaded)).first->second;
 }
 
 bool DetectorStore::contains(const std::string& name) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (cache_.count(name) > 0) return true;
+    util::MutexLock lock(mu_);
+    if (cached_locked(name) != nullptr) return true;
   }
   std::error_code ec;
   return fs::exists(path_for(name), ec);
@@ -130,7 +137,7 @@ std::vector<std::string> DetectorStore::list() const {
 }
 
 void DetectorStore::evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_.erase(name);
 }
 

@@ -16,11 +16,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/bprom.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bprom::serve {
 
@@ -33,15 +33,15 @@ namespace bprom::serve {
 /// `kStaleAfterSeconds` is treated as the debris of a crashed writer and
 /// broken — publishes take milliseconds, so a minute-old lock is never
 /// live.
-class StoreLock {
+class BPROM_SCOPED_CAPABILITY StoreLock {
  public:
   static constexpr const char* kLockName = ".publish.lock";
   static constexpr double kStaleAfterSeconds = 60.0;
 
   /// Blocks until acquired.  Throws io::IoError when the directory cannot
   /// hold a lock file at all (missing, unwritable).
-  explicit StoreLock(const std::string& directory);
-  ~StoreLock();
+  explicit StoreLock(const std::string& directory) BPROM_ACQUIRE();
+  ~StoreLock() BPROM_RELEASE();
 
   StoreLock(const StoreLock&) = delete;
   StoreLock& operator=(const StoreLock&) = delete;
@@ -94,9 +94,17 @@ class DetectorStore {
   std::uint64_t bump_generation();
 
  private:
+  /// Cached handle for `name`, or null.  The lookup half of get()'s
+  /// check-then-load-then-publish sequence (the load runs unlocked so a
+  /// slow disk read cannot serialize unrelated lookups; losers of the
+  /// publish race adopt the winner's handle).
+  [[nodiscard]] std::shared_ptr<const core::BpromDetector> cached_locked(
+      const std::string& name) const BPROM_REQUIRES(mu_);
+
   std::string dir_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const core::BpromDetector>> cache_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::shared_ptr<const core::BpromDetector>> cache_
+      BPROM_GUARDED_BY(mu_);
 };
 
 }  // namespace bprom::serve

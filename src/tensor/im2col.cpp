@@ -27,6 +27,9 @@ void im2col_into(const Tensor& input, const ConvGeometry& g, Tensor& cols) {
          input.dim(3) == g.in_w);
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
+  // Shapes the caller's column tensor — callers reuse one tensor across
+  // batches, so in steady state this resize is a no-op.
+  // bprom-lint: allow(hot-path-alloc)
   cols.resize({n * oh * ow, g.patch_size()});
   const std::size_t sample_elems = oh * ow * g.patch_size();
   const auto fill_sample = [&](std::size_t b) {

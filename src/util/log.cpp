@@ -1,8 +1,10 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace bprom::util {
 namespace {
@@ -17,14 +19,25 @@ LogLevel initial_level() {
   return LogLevel::kInfo;
 }
 
-LogLevel& level_ref() {
-  static LogLevel level = initial_level();
+/// Atomic, not plain: set_log_level may race log_message's filter read
+/// from another thread (a plain LogLevel made that a data race).
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
   return level;
 }
 
-std::mutex& log_mutex() {
-  static std::mutex mu;
-  return mu;
+/// The sink pointer and the stream it designates are both touched only
+/// under this mutex — interleaved partial lines from concurrent loggers
+/// were the original reason the lock exists; the annotation now proves
+/// every access takes it.
+struct Sink {
+  Mutex mu;
+  std::ostream* stream BPROM_GUARDED_BY(mu) = nullptr;  // null = std::cerr
+};
+
+Sink& sink() {
+  static Sink s;
+  return s;
 }
 
 const char* label(LogLevel level) {
@@ -43,13 +56,30 @@ const char* label(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return level_ref(); }
-void set_log_level(LogLevel level) { level_ref() = level; }
+LogLevel log_level() {
+  // relaxed: the filter is an independent flag — no logging data is
+  // published through it, so ordering against message writes is moot.
+  return level_ref().load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) {
+  // relaxed: see log_level() — a racing logger sees the old or new level,
+  // both of which were valid an instant apart.
+  level_ref().store(level, std::memory_order_relaxed);
+}
+
+void set_log_sink(std::ostream* stream) {
+  Sink& s = sink();
+  MutexLock lock(s.mu);
+  s.stream = stream;
+}
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::lock_guard<std::mutex> lock(log_mutex());
-  std::cerr << "[bprom " << label(level) << "] " << msg << '\n';
+  Sink& s = sink();
+  MutexLock lock(s.mu);
+  std::ostream& out = s.stream != nullptr ? *s.stream : std::cerr;
+  out << "[bprom " << label(level) << "] " << msg << '\n';
 }
 
 }  // namespace bprom::util

@@ -1,7 +1,11 @@
 // Tiny leveled logger.  Default level is Info; BPROM_LOG=debug|info|warn|off
 // overrides.  Output goes to stderr so bench tables on stdout stay clean.
+//
+// Thread-safe: the level is an atomic (any thread may raise/lower it while
+// others log) and the sink stream is written under a mutex.
 #pragma once
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -12,6 +16,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 void log_message(LogLevel level, const std::string& msg);
+
+/// Redirect log output (default: std::cerr).  nullptr restores stderr.
+/// The stream is borrowed and must outlive all logging; writes to it are
+/// serialized by the logger's internal mutex.
+void set_log_sink(std::ostream* sink);
 
 namespace detail {
 class LogLine {

@@ -41,6 +41,8 @@ class MpmcRing {
     mask_ = cap - 1;
     cells_ = new Cell[cap];
     for (std::size_t i = 0; i < cap; ++i) {
+      // relaxed: single-threaded construction; publication of the ring to
+      // other threads is the owner's synchronization point.
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -61,6 +63,8 @@ class MpmcRing {
   /// Approximate occupancy — exact only when no producer/consumer is
   /// mid-flight, which is all a depth gauge needs.
   [[nodiscard]] std::size_t size() const {
+    // relaxed: a depth gauge, documented approximate — no decision is made
+    // on this value that element memory depends on.
     const std::size_t head = enqueue_.load(std::memory_order_relaxed);
     const std::size_t tail = dequeue_.load(std::memory_order_relaxed);
     return head >= tail ? head - tail : 0;
@@ -77,6 +81,8 @@ class MpmcRing {
   /// Non-blocking enqueue; false when the ring is full or closed.
   bool try_push(T&& value) {
     if (closed()) return false;
+    // relaxed: the cursor is only a claim ticket; the cell's seq
+    // acquire/release pair below is what orders element memory.
     std::size_t pos = enqueue_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -84,6 +90,8 @@ class MpmcRing {
       const auto diff = static_cast<std::ptrdiff_t>(seq) -
                         static_cast<std::ptrdiff_t>(pos);
       if (diff == 0) {
+        // relaxed: a successful CAS only wins the claim; the construct
+        // below is published by the seq release store, never by the CAS.
         if (enqueue_.compare_exchange_weak(pos, pos + 1,
                                            std::memory_order_relaxed)) {
           ::new (cell.storage) T(std::move(value));
@@ -93,6 +101,7 @@ class MpmcRing {
       } else if (diff < 0) {
         return false;  // full: the consumer lapped us a whole ring ago
       } else {
+        // relaxed: stale reload merely retries; see the claim-ticket note.
         pos = enqueue_.load(std::memory_order_relaxed);
       }
     }
@@ -100,6 +109,8 @@ class MpmcRing {
 
   /// Non-blocking dequeue; false when nothing is queued.
   bool try_pop(T& out) {
+    // relaxed: claim ticket only, exactly as in try_push — the seq
+    // acquire above the move is what makes the element visible.
     std::size_t pos = dequeue_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -107,6 +118,7 @@ class MpmcRing {
       const auto diff = static_cast<std::ptrdiff_t>(seq) -
                         static_cast<std::ptrdiff_t>(pos + 1);
       if (diff == 0) {
+        // relaxed: claim-only CAS; element memory rides the seq pair.
         if (dequeue_.compare_exchange_weak(pos, pos + 1,
                                            std::memory_order_relaxed)) {
           T* slot = std::launder(reinterpret_cast<T*>(cell.storage));
@@ -118,6 +130,7 @@ class MpmcRing {
       } else if (diff < 0) {
         return false;  // empty
       } else {
+        // relaxed: stale reload merely retries; see the claim-ticket note.
         pos = dequeue_.load(std::memory_order_relaxed);
       }
     }

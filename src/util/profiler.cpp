@@ -8,9 +8,13 @@ namespace bprom::util {
 namespace {
 
 /// Bucket index: position of the highest set bit, so bucket b spans
-/// [2^(b-1), 2^b) and bucket 0 holds exact zeros.
+/// [2^(b-1), 2^b) and bucket 0 holds exact zeros.  Clamped to the last
+/// bucket: bit_width of a value with bit 63 set is 64, one past the
+/// 64-entry histogram — record_value() accepts arbitrary magnitudes, so
+/// the top bucket absorbs [2^62, 2^64) instead of indexing out of bounds.
 std::size_t bucket_of(std::uint64_t value) {
-  return static_cast<std::size_t>(std::bit_width(value));
+  constexpr std::size_t kLast = 63;
+  return std::min(static_cast<std::size_t>(std::bit_width(value)), kLast);
 }
 
 /// Representative value of bucket b — the geometric center of its span.
@@ -47,22 +51,29 @@ const char* profile_stage_name(ProfileStage stage) {
 Profiler::Profiler() = default;
 
 void Profiler::record(ProfileStage stage, std::uint64_t value) {
-  // The epoch read and every RMW below are relaxed: samples are integers
-  // folded commutatively, so no ordering between them is ever observed.
+  // relaxed: epoch selection needs no ordering — a writer straddling a
+  // flip lands its whole sample in one buffer or the other, and the fold
+  // reads both buffers' atomics individually.
   Epoch& epoch = epochs_[live_.load(std::memory_order_relaxed) & 1U];
   StageCounters& c = epoch.stages[static_cast<std::size_t>(stage)];
+  // relaxed: samples are integers folded commutatively; no reader ever
+  // infers cross-counter ordering (count/sum/min/max may transiently
+  // disagree mid-record and the fold tolerates that).
   c.count.fetch_add(1, std::memory_order_relaxed);
-  c.sum.fetch_add(value, std::memory_order_relaxed);
+  c.sum.fetch_add(value, std::memory_order_relaxed);  // relaxed: see above
+  // relaxed: min/max CAS loops — atomicity is all that matters, the loop
+  // re-reads on failure.
   std::uint64_t seen = c.min.load(std::memory_order_relaxed);
   while (value < seen &&
          !c.min.compare_exchange_weak(seen, value,
-                                      std::memory_order_relaxed)) {
+                                      std::memory_order_relaxed)) {  // relaxed: ^
   }
-  seen = c.max.load(std::memory_order_relaxed);
+  seen = c.max.load(std::memory_order_relaxed);  // relaxed: see above
   while (value > seen &&
          !c.max.compare_exchange_weak(seen, value,
-                                      std::memory_order_relaxed)) {
+                                      std::memory_order_relaxed)) {  // relaxed: ^
   }
+  // relaxed: commutative histogram increment, same contract as count/sum.
   c.histogram[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -70,18 +81,24 @@ void Profiler::fold_and_reset(Epoch& epoch) {
   for (std::size_t s = 0; s < kProfileStages; ++s) {
     StageCounters& src = epoch.stages[s];
     CumulativeStage& dst = cumulative_[s];
-    const std::uint64_t count = src.count.exchange(0,
-                                                   std::memory_order_relaxed);
-    const std::uint64_t sum = src.sum.exchange(0, std::memory_order_relaxed);
-    const std::uint64_t mn =
-        src.min.exchange(~std::uint64_t{0}, std::memory_order_relaxed);
-    const std::uint64_t mx = src.max.exchange(0, std::memory_order_relaxed);
+    // relaxed: each exchange is individually atomic against writer RMWs,
+    // and that is the whole requirement — a sample straddling the fold
+    // lands in either this fold or the next, never both, never torn.
+    const std::uint64_t count = src.count.exchange(
+        0, std::memory_order_relaxed);  // relaxed: see above
+    const std::uint64_t sum =
+        src.sum.exchange(0, std::memory_order_relaxed);  // relaxed: see above
+    const std::uint64_t mn = src.min.exchange(
+        ~std::uint64_t{0}, std::memory_order_relaxed);  // relaxed: see above
+    const std::uint64_t mx =
+        src.max.exchange(0, std::memory_order_relaxed);  // relaxed: see above
     if (count == 0) continue;
     dst.count += count;
     dst.sum += static_cast<double>(sum);
     dst.min = std::min(dst.min, mn);
     dst.max = std::max(dst.max, mx);
     for (std::size_t b = 0; b < kBuckets; ++b) {
+      // relaxed: same per-cell atomicity argument as the exchanges above.
       dst.histogram[b] +=
           src.histogram[b].exchange(0, std::memory_order_relaxed);
     }
@@ -89,11 +106,13 @@ void Profiler::fold_and_reset(Epoch& epoch) {
 }
 
 ProfilerSnapshot Profiler::snapshot() {
-  std::lock_guard<std::mutex> lock(reader_mu_);
+  MutexLock lock(reader_mu_);
   // Flip, then fold the buffer writers just vacated.  Writers mid-record
   // against the old index finish into the buffer we are folding — their
   // relaxed RMWs and our relaxed exchanges interleave atomically, so every
   // sample lands in exactly one fold.
+  // relaxed: the flip needs no release — no writer reads anything the
+  // reader wrote; readers serialize among themselves on reader_mu_.
   const std::uint32_t retired = live_.fetch_add(1, std::memory_order_relaxed);
   fold_and_reset(epochs_[retired & 1U]);
 

@@ -23,8 +23,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "util/thread_annotations.hpp"
 
 namespace bprom::util {
 
@@ -106,13 +107,16 @@ class Profiler {
     std::array<StageCounters, kProfileStages> stages;
   };
 
-  /// Fold `epoch` into cumulative_ (mutex held) and zero it for reuse.
-  void fold_and_reset(Epoch& epoch);
+  /// Fold `epoch` into cumulative_ and zero it for reuse.
+  void fold_and_reset(Epoch& epoch) BPROM_REQUIRES(reader_mu_);
 
+  /// Writers select an epoch through live_ and land relaxed RMWs in it;
+  /// epochs_ is deliberately NOT guarded by reader_mu_ — the per-cell
+  /// atomics are the synchronization, the mutex only serializes readers.
   Epoch epochs_[2];
   std::atomic<std::uint32_t> live_{0};
 
-  std::mutex reader_mu_;
+  Mutex reader_mu_;
   struct CumulativeStage {
     std::uint64_t count = 0;
     std::uint64_t min = ~std::uint64_t{0};
@@ -120,7 +124,8 @@ class Profiler {
     double sum = 0.0;
     std::array<std::uint64_t, kBuckets> histogram{};
   };
-  std::array<CumulativeStage, kProfileStages> cumulative_;
+  std::array<CumulativeStage, kProfileStages> cumulative_
+      BPROM_GUARDED_BY(reader_mu_);
 };
 
 /// RAII wall-clock sample: records the scope's duration in nanoseconds.

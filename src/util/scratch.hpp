@@ -57,6 +57,9 @@ class Scratch {
   T* buffer(Slot slot, std::size_t count) {
     std::vector<unsigned char>& bytes = slots_[slot];
     const std::size_t need = count * sizeof(T);
+    // This is the arena's single sanctioned growth point: capacity only
+    // ever ratchets up, so steady-state calls never allocate.
+    // bprom-lint: allow(hot-path-alloc)
     if (bytes.size() < need) bytes.resize(need);
     // operator new (behind std::allocator) aligns for every fundamental
     // type, so the reinterpret below is safe for float/double panels.

@@ -1,0 +1,155 @@
+// Clang Thread Safety Analysis vocabulary + capability-annotated lock
+// wrappers — the compile-time half of the repo's concurrency contract.
+//
+// Every mutex-protected structure in the codebase declares WHICH lock
+// guards WHAT data (`BPROM_GUARDED_BY`) and which functions expect a lock
+// to be held on entry (`BPROM_REQUIRES`).  Under clang with
+// `-DBPROM_THREAD_SAFETY=ON` (CMake adds `-Wthread-safety -Werror`) the
+// compiler then *proves* every access honors the declaration — a missing
+// lock is a build break, not a TSan sample that happened to hit the right
+// schedule.  Under gcc (which has no such analysis) the macros expand to
+// nothing and the wrappers degrade to their std counterparts, so the
+// annotated tree builds identically everywhere.
+//
+// Usage rules (enforced by the thread-safety CI leg):
+//   - Shared mutable state guarded by a mutex is declared
+//     `T member_ BPROM_GUARDED_BY(mu_);`.
+//   - Private helpers that assume the lock is already held are declared
+//     `void helper() BPROM_REQUIRES(mu_);` and only called under it.
+//   - Locks are `util::Mutex` (not raw std::mutex — std::mutex carries no
+//     capability attribute on libstdc++) and lock scopes are
+//     `util::MutexLock` (not std::lock_guard, same reason).
+//   - Code the analysis cannot model (lock ownership handed across
+//     threads) gets BPROM_NO_THREAD_SAFETY_ANALYSIS with a comment saying
+//     why — there are currently zero such sites; keep it that way.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BPROM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BPROM_THREAD_ANNOTATION(x)  // no-op: gcc/MSVC have no analysis
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define BPROM_CAPABILITY(x) BPROM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (std::lock_guard-shaped types).
+#define BPROM_SCOPED_CAPABILITY BPROM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define BPROM_GUARDED_BY(x) BPROM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define BPROM_PT_GUARDED_BY(x) BPROM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called with the listed capabilities held
+/// (and does not release them).
+#define BPROM_REQUIRES(...) \
+  BPROM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BPROM_REQUIRES_SHARED(...) \
+  BPROM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and holds them on return.
+#define BPROM_ACQUIRE(...) \
+  BPROM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BPROM_ACQUIRE_SHARED(...) \
+  BPROM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (empty list on a scoped
+/// object's destructor releases whatever the object holds).
+#define BPROM_RELEASE(...) \
+  BPROM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BPROM_RELEASE_SHARED(...) \
+  BPROM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `b`.
+#define BPROM_TRY_ACQUIRE(b, ...) \
+  BPROM_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention: it will acquire them itself).
+#define BPROM_EXCLUDES(...) BPROM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock detection between capabilities).
+#define BPROM_ACQUIRED_BEFORE(...) \
+  BPROM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define BPROM_ACQUIRED_AFTER(...) \
+  BPROM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define BPROM_RETURN_CAPABILITY(x) BPROM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define BPROM_ASSERT_CAPABILITY(x) \
+  BPROM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: the function's locking is correct but not expressible.
+/// Every use must carry a comment explaining why.
+#define BPROM_NO_THREAD_SAFETY_ANALYSIS \
+  BPROM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bprom::util {
+
+/// std::mutex with a capability attribute, so the analysis can track it.
+/// (libstdc++'s std::mutex is unannotated; libc++ only annotates behind a
+/// config macro — a thin wrapper is portable across both.)
+class BPROM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BPROM_ACQUIRE() { mu_.lock(); }
+  void unlock() BPROM_RELEASE() { mu_.unlock(); }
+  bool try_lock() BPROM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over util::Mutex, visible to the analysis as a scoped
+/// capability: construction acquires, destruction releases, and every
+/// guarded access inside the scope type-checks.
+class BPROM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BPROM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() BPROM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with util::Mutex.  wait() is called with the
+/// capability held and returns with it held; the transient release inside
+/// is invisible to the analysis (the standard modeling of condvars — the
+/// caller's invariants must hold at every wait() anyway, because wakeups
+/// are spurious by contract).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) BPROM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();  // the capability stays with the caller's scope
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bprom::util

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -32,22 +32,27 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto fut = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(std::move(packaged));
   }
   cv_.notify_one();
   return fut;
 }
 
+bool ThreadPool::pop_locked(std::packaged_task<void()>& out) {
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop();
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
+      if (!pop_locked(task)) return;  // stop_ set and queue drained
     }
     task();
   }
@@ -56,10 +61,8 @@ void ThreadPool::worker_loop() {
 bool ThreadPool::try_run_one() {
   std::packaged_task<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop();
+    MutexLock lock(mu_);
+    if (!pop_locked(task)) return false;
   }
   task();
   return true;
@@ -92,12 +95,16 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   std::atomic<bool> failed{false};
   const auto run_shard = [&] {
     for (;;) {
+      // relaxed: advisory early-exit flag only — a stale false merely runs
+      // one more index; the exception itself propagates through the future.
       if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1);
       if (i >= n) return;
       try {
         body(i);
       } catch (...) {
+        // relaxed: see the load above — the flag carries no data, the
+        // future's exception state is the synchronized channel.
         failed.store(true, std::memory_order_relaxed);
         throw;
       }

@@ -5,14 +5,14 @@
 // index-sharded pattern with exception propagation to the caller.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace bprom::util {
 
@@ -38,11 +38,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Dequeue the front task into `out`; false when the queue is empty.
+  bool pop_locked(std::packaged_task<void()>& out) BPROM_REQUIRES(mu_);
+
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> queue_ BPROM_GUARDED_BY(mu_);
+  bool stop_ BPROM_GUARDED_BY(mu_) = false;
 };
 
 /// Run body(i) for i in [0, n) across the given pool (defaults to

@@ -118,6 +118,7 @@ Tensor VisualPrompt::apply(const Tensor& target) const {
       for (std::size_t p = 0; p < hw; ++p) {
         const float* w = &coarse_weight_[p * kGrid * kGrid];
         float acc = 0.0F;
+        // ordered: fixed ascending grid index, single-threaded render.
         for (std::size_t g = 0; g < kGrid * kGrid; ++g) acc += w[g] * tc[g];
         delta[c * hw + p] = std::tanh(acc);
       }
@@ -162,10 +163,12 @@ std::vector<float> VisualPrompt::gradient(const Tensor& dcanvas) const {
       for (std::size_t p = 0; p < hw; ++p) {
         const float* w = &coarse_weight_[p * kGrid * kGrid];
         float pre = 0.0F;
+        // ordered: same ascending grid walk as the forward render.
         for (std::size_t g = 0; g < kGrid * kGrid; ++g) pre += w[g] * tc[g];
         const float t = std::tanh(pre);
         const float dsquash = 1.0F - t * t;  // clip straight-through
         float dpix = 0.0F;
+        // ordered: ascending batch index, single-threaded grad fold.
         for (std::size_t b = 0; b < n; ++b) {
           dpix += dcanvas.data()[b * plane + c * hw + p];
         }
@@ -187,6 +190,7 @@ std::vector<float> VisualPrompt::gradient(const Tensor& dcanvas) const {
       dsquash = 1.0F - t * t;  // clip treated straight-through
     }
     float acc = 0.0F;
+    // ordered: ascending batch index, single-threaded grad fold.
     for (std::size_t b = 0; b < n; ++b) {
       acc += dcanvas.data()[b * plane + border_pos_[i]];
     }

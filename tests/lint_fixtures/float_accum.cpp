@@ -1,0 +1,73 @@
+// bprom_lint fixture — NOT part of the build.  See raw_thread.cpp for the
+// expect-marker convention.
+#include <cstddef>
+
+float single_line_loop(const float* v, std::size_t n) {
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) acc += v[i];  // expect(float-accum)
+  return acc;
+}
+
+// Regression: a multi-line loop body — the semicolons inside the for-header
+// must not end the pending loop before its `{` opens.
+float multi_line_loop(const float* v, std::size_t n) {
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += v[i];  // expect(float-accum)
+  }
+  return acc;
+}
+
+float nested_loop(const float* v, std::size_t n) {
+  float total = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    float inner = 0.0F;
+    for (std::size_t j = 0; j < n; ++j) {
+      inner += v[i * n + j];  // expect(float-accum)
+    }
+    total += inner;  // expect(float-accum)
+  }
+  return total;
+}
+
+float while_loop(const float* v, std::size_t n) {
+  float acc = 0.0F;
+  std::size_t i = 0;
+  while (i < n) {
+    acc += v[i];  // expect(float-accum)
+    ++i;
+  }
+  return acc;
+}
+
+float documented(const float* v, std::size_t n) {
+  float acc = 0.0F;
+  // ordered: ascending index, sequential on one thread.
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += v[i];
+  }
+  return acc;
+}
+
+float tolerated(const float* v, std::size_t n) {
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    // bprom-lint: allow(float-accum)
+    acc += v[i];
+  }
+  return acc;
+}
+
+long integers_are_exact(const int* v, std::size_t n) {
+  long tally = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tally += v[i];  // integer summation commutes — no marker needed
+  }
+  return tally;
+}
+
+float outside_any_loop(float a, float b) {
+  float acc = a;
+  acc += b;  // not in a loop — order is already fixed
+  return acc;
+}

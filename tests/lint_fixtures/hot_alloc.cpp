@@ -1,0 +1,34 @@
+// bprom_lint fixture — NOT part of the build.  Tagged `hot-path` by the
+// test's rule set, so allocation and container growth must be flagged.
+// See raw_thread.cpp for the expect-marker convention.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+void bad(std::vector<float>& panel) {
+  float* raw = new float[64];                    // expect(hot-path-alloc)
+  void* blob = malloc(256);                      // expect(hot-path-alloc)
+  auto owned = std::make_unique<int>(1);         // expect(hot-path-alloc)
+  auto shared = std::make_shared<int>(2);        // expect(hot-path-alloc)
+  panel.push_back(1.0F);                         // expect(hot-path-alloc)
+  panel.resize(128);                             // expect(hot-path-alloc)
+  (&panel)->reserve(256);                        // expect(hot-path-alloc)
+  free(blob);
+  delete[] raw;
+  (void)owned;
+  (void)shared;
+}
+
+void tolerated(std::vector<float>& panel) {
+  // One-time warm-up growth is the sanctioned arena pattern.
+  // bprom-lint: allow(hot-path-alloc)
+  panel.resize(128);
+}
+
+void clean(std::vector<float>& panel) {
+  // Reads and overwrites never allocate; `newly` embeds "new" but is an
+  // identifier, and resize without a member call syntax is not growth.
+  int newly = 0;
+  (void)newly;
+  panel[0] = 1.0F;
+}

@@ -1,0 +1,17 @@
+// bprom_lint fixture — NOT part of the build.  See raw_thread.cpp for the
+// expect-marker convention.
+#include <cstdlib>
+#include <random>
+
+int bad() {
+  srand(7);                      // expect(raw-rand)
+  int a = rand();                // expect(raw-rand)
+  std::random_device entropy;    // expect(raw-rand)
+  return a + static_cast<int>(entropy());
+}
+
+int clean(int operand) {
+  // `operand` and `strand` embed "rand" but are distinct identifiers.
+  int strand = operand + 1;
+  return strand;  // and rand in a comment is fine
+}

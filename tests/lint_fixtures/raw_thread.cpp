@@ -1,0 +1,30 @@
+// bprom_lint fixture — NOT part of the build.  A line whose trailing
+// comment is an expect marker — the word "expect" with the rule id in
+// parentheses — must produce exactly that finding; every other line must
+// stay clean.  tests/test_lint.cpp derives expectations from the markers,
+// so line numbers never need maintaining by hand.
+#include <future>
+#include <thread>
+
+void bad() {
+  std::thread t([] {});           // expect(raw-thread)
+  t.join();
+  std::jthread auto_joiner([] {});  // expect(raw-thread)
+  auto f = std::async([] { return 1; });  // expect(raw-thread)
+  f.get();
+}
+
+void tolerated() {
+  // bprom-lint: allow(raw-thread)
+  std::thread escaped_above([] {});
+  escaped_above.join();
+  std::thread escaped_same([] {});  // bprom-lint: allow(raw-thread)
+  escaped_same.join();
+}
+
+void clean() {
+  // Mentioning std::thread in a comment is fine, as is the string below.
+  const char* doc = "never spawn a raw std::thread";
+  (void)doc;
+  std::this_thread::yield();  // qualified differently — must not match
+}

@@ -1,0 +1,39 @@
+// bprom_lint fixture — NOT part of the build.  See raw_thread.cpp for the
+// expect-marker convention.
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+void bad() {
+  counter.fetch_add(1, std::memory_order_relaxed);  // expect(relaxed-comment)
+}
+
+void justified_same_line() {
+  counter.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally only
+}
+
+void justified_above() {
+  // relaxed: statistics tally — a snapshot, not a transaction, so no
+  // ordering with neighbouring operations is needed.
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void justified_at_window_edge() {
+  // relaxed: the justification sits exactly three lines above the
+  // operation, the widest separation the rule accepts — any further
+  // away and the comment is no longer clearly about this line.
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void justification_too_far() {
+  // relaxed: this comment is four lines above the operation, one past
+  // the window, so the finding below must still fire — stale comments
+  // drifting away from their operation is exactly what the window
+  // bound exists to catch.
+  counter.fetch_add(1, std::memory_order_relaxed);  // expect(relaxed-comment)
+}
+
+void tolerated() {
+  // bprom-lint: allow(relaxed-comment)
+  counter.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,20 @@
+// bprom_lint fixture — NOT part of the build.  See raw_thread.cpp for the
+// expect-marker convention.
+#include <map>
+#include <string>
+#include <unordered_map>  // expect(unordered-container)
+#include <unordered_set>  // expect(unordered-container)
+
+int bad() {
+  std::unordered_map<std::string, int> counts;  // expect(unordered-container)
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}
+
+int clean() {
+  std::map<std::string, int> counts;  // ordered — reproducible iteration
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}

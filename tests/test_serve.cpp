@@ -153,6 +153,48 @@ TEST(DetectorStore, PutGetListAndCacheBehavior) {
   std::filesystem::remove_all(dir);
 }
 
+// Regression for get()'s check-then-load-then-publish sequence: threads
+// racing the first load of one name must converge on a single cached
+// handle (cache_.emplace never overwrites — losers adopt the winner's) and
+// the map must survive the concurrent insert attempts intact.
+TEST(DetectorStore, ConcurrentFirstGetConvergesOnOneHandle) {
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 45, 400, 160);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 46, 300, 160);
+  auto detector = core::fit_detector(src, tgt, 0.10,
+                                     nn::ArchKind::kResNet18Mini, 7,
+                                     micro_scale());
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bprom_test_store_race")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    serve::DetectorStore writer(dir);
+    writer.put("aud", std::move(detector));
+  }
+
+  serve::DetectorStore store(dir);  // cold cache: every get must load
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const core::BpromDetector>> handles(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> racers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    racers.emplace_back([&store, &go, &handles, t] {
+      while (!go.load()) {
+      }
+      handles[t] = store.get("aud");
+    });
+  }
+  go.store(true);
+  for (auto& r : racers) r.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_NE(handles[t], nullptr);
+    EXPECT_EQ(handles[t].get(), handles[0].get())
+        << "thread " << t << " got a divergent handle";
+  }
+  EXPECT_TRUE(handles[0]->fitted());
+  std::filesystem::remove_all(dir);
+}
+
 // Migrated onto the bprom::api façade (the old serve::AuditService is the
 // internal layer underneath it): batched verdicts must be bit-identical
 // under 1- and 4-thread engine pools, the async path must match the sync

@@ -4,11 +4,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "util/env.hpp"
+#include "util/log.hpp"
 #include "util/profiler.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -326,6 +329,37 @@ TEST(Profiler, ScopedProfileRecordsAndNullDisables) {
   const ProfilerSnapshot snap = profiler.snapshot();
   const ProfileStageStats& s = snap[ProfileStage::kBatch];
   EXPECT_EQ(s.count, 1U);  // the null-profiler scope recorded nothing
+}
+
+TEST(Profiler, HugeValuesClampIntoTheLastBucket) {
+  Profiler profiler;
+  // Regression: values with the top bit set have bit_width 64, which used
+  // to index one past the end of the 64-entry log2 histogram.  They must
+  // clamp into the last bucket and keep percentiles inside [min, max].
+  for (int i = 0; i < 10; ++i) {
+    profiler.record(ProfileStage::kInspect, ~std::uint64_t{0});
+  }
+  profiler.record(ProfileStage::kInspect, 1);
+  const ProfilerSnapshot snap = profiler.snapshot();
+  const ProfileStageStats& s = snap[ProfileStage::kInspect];
+  EXPECT_EQ(s.count, 11U);
+  EXPECT_EQ(s.min, 1U);
+  EXPECT_EQ(s.max, ~std::uint64_t{0});
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LE(s.p99, static_cast<double>(s.max));
+}
+
+TEST(Log, SinkCaptureAndLevelFilter) {
+  std::ostringstream captured;
+  set_log_sink(&captured);
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kWarn);
+  log_info() << "below the filter";
+  log_warn() << "kept " << 42;
+  set_log_level(before);
+  set_log_sink(nullptr);
+  EXPECT_EQ(captured.str().find("below the filter"), std::string::npos);
+  EXPECT_NE(captured.str().find("kept 42"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// Command-line driver for the bprom invariant linter (tools/lint_core.hpp).
+//
+//   bprom_lint [--rules <file>] <path>...
+//
+// Paths may be files or directories (directories are walked recursively for
+// .hpp/.h/.cpp).  Findings print as `path:line: [rule] message`, sorted, and
+// the exit code is the number of findings clamped to 1 — so both CTest and
+// CI treat any finding as failure.  Run from the repo root so the path
+// substrings in lint_rules.txt (e.g. `exempt raw-thread src/util/`) match.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Forward slashes regardless of platform, so rule path-substrings match.
+std::string normalized(const fs::path& path) {
+  return path.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path = "tools/lint_rules.txt";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      if (i + 1 >= argc) {
+        std::cerr << "bprom_lint: --rules needs a file argument\n";
+        return 2;
+      }
+      rules_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bprom_lint [--rules <file>] <path>...\n";
+      return 0;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "bprom_lint: no inputs (usage: bprom_lint [--rules <file>] "
+                 "<path>...)\n";
+    return 2;
+  }
+
+  std::ifstream rules_in(rules_path);
+  if (!rules_in) {
+    std::cerr << "bprom_lint: cannot open rules file " << rules_path << "\n";
+    return 2;
+  }
+  std::string parse_error;
+  const bprom::lint::Rules rules =
+      bprom::lint::Rules::parse(rules_in, &parse_error);
+  if (!parse_error.empty()) {
+    std::cerr << "bprom_lint: " << rules_path << ": " << parse_error << "\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry :
+           fs::recursive_directory_iterator(input, ec)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(normalized(entry.path()));
+        }
+      }
+      if (ec) {
+        std::cerr << "bprom_lint: cannot walk " << input << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+    } else {
+      files.push_back(normalized(fs::path(input)));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<bprom::lint::Finding> findings;
+  for (const std::string& file : files) {
+    if (!bprom::lint::lint_path(file, rules, &findings)) {
+      std::cerr << "bprom_lint: cannot read " << file << "\n";
+      return 2;
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const bprom::lint::Finding& a, const bprom::lint::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "bprom_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " across "
+              << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "bprom_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
