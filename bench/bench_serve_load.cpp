@@ -5,6 +5,15 @@
 // queue_wait / queue_depth / batch) — the SLO telemetry of the audit
 // service, tracked per PR like the table benches track accuracy.
 //
+// `--socket` switches to the network front end: N concurrent client
+// connections pipeline audit bursts at a net::Server whose admission layer
+// is deliberately undersized, so the bench measures BOTH halves of the
+// overload contract — admitted requests complete with real verdicts, excess
+// requests bounce as typed kBudgetExhausted rejections — and emits
+// BENCH_net.json (throughput, p50/p95/p99, per-cause rejection counts).
+// The bench exits nonzero if any rejection is untyped or no rejection
+// happens at all (then it measured nothing).
+//
 // The detector is fitted at micro scale on synthetic data: this bench
 // measures the serving internals (ring hand-off, queueing, per-request
 // overhead), not inspection quality, so the fit only needs to be real
@@ -12,15 +21,19 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/engine.hpp"
 #include "common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "nn/blackbox.hpp"
 #include "util/env.hpp"
 
@@ -86,9 +99,177 @@ void write_report(std::size_t batches, std::size_t batch_size,
   std::printf("bench report: %s\n", path.c_str());
 }
 
+/// --socket mode: concurrent connections against the epoll front end.
+int run_socket_mode(api::AuditEngine& engine,
+                    const core::TrainedSuspicious& suspicious,
+                    util::Stopwatch& total) {
+  const std::size_t clients = util::by_scale<std::size_t>(3, 6, 12);
+  const std::size_t rounds = util::by_scale<std::size_t>(2, 3, 4);
+  const std::size_t burst = 3;  // pipelined audits per round per client
+
+  // Undersized on purpose: one in-flight audit per connection means every
+  // pipelined burst offers `burst` requests and the admission layer must
+  // reject `burst - 1` of them typed while the first one completes.
+  net::ServerConfig server_config;
+  server_config.io_threads = 2;
+  server_config.admission.max_in_flight_per_connection = 1;
+  net::Server server(engine, server_config);
+  if (!server.start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+
+  // Serialization walks mutable layer state, so each client thread uploads
+  // its own clone of the suspicious model.
+  std::vector<std::unique_ptr<nn::Model>> models;
+  models.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    models.push_back(suspicious.model->clone());
+  }
+
+  struct ClientTally {
+    std::vector<double> latency_ms;  // server-reported seconds, ok only
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t failed = 0;  // anything that was not ok/kBudgetExhausted
+  };
+  std::vector<ClientTally> tallies(clients);
+
+  util::Stopwatch wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientTally& tally = tallies[c];
+        auto client = net::Client::connect({.port = server.port()});
+        if (!client.ok()) {
+          tally.failed += rounds * burst;
+          return;
+        }
+        for (std::size_t r = 0; r < rounds; ++r) {
+          std::vector<net::ClientAuditRequest> requests(burst);
+          for (std::size_t i = 0; i < burst; ++i) {
+            requests[i].model_id = "c" + std::to_string(c) + "_r" +
+                                   std::to_string(r) + "_" + std::to_string(i);
+            requests[i].detector = "aud";
+            requests[i].model = models[c].get();
+          }
+          auto responses = client.value().audit_batch(requests);
+          if (!responses.ok()) {
+            tally.failed += burst;
+            continue;
+          }
+          for (const api::AuditResponse& response : responses.value()) {
+            if (response.status.ok()) {
+              ++tally.completed;
+              tally.latency_ms.push_back(response.seconds * 1e3);
+            } else if (response.status.code() ==
+                       api::StatusCode::kBudgetExhausted) {
+              ++tally.rejected;  // the typed overload rejection under test
+            } else {
+              ++tally.failed;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double wall_seconds = wall.seconds();
+  bench::print_elapsed(total, "socket load");
+
+  std::vector<double> latency_ms;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
+  for (const ClientTally& tally : tallies) {
+    latency_ms.insert(latency_ms.end(), tally.latency_ms.begin(),
+                      tally.latency_ms.end());
+    completed += tally.completed;
+    rejected += tally.rejected;
+    failed += tally.failed;
+  }
+  std::sort(latency_ms.begin(), latency_ms.end());
+  const double throughput = static_cast<double>(completed) / wall_seconds;
+
+  // Pull the server's own view over the wire — the stats frame is part of
+  // what this bench exercises.
+  net::ServerCounters counters;
+  if (auto probe = net::Client::connect({.port = server.port()});
+      probe.ok()) {
+    if (auto stats = probe.value().stats(); stats.ok()) {
+      counters = stats.value().server;
+    }
+  }
+  server.stop();
+
+  const std::size_t offered = clients * rounds * burst;
+  std::printf("%zu clients x %zu rounds x %zu pipelined in %.2fs\n", clients,
+              rounds, burst, wall_seconds);
+  std::printf(
+      "offered %zu: completed %zu (%.1f req/s), rejected typed %zu, "
+      "failed %zu\n",
+      offered, completed, throughput, rejected, failed);
+  std::printf("ok-request latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n",
+              percentile(latency_ms, 0.50), percentile(latency_ms, 0.95),
+              percentile(latency_ms, 0.99));
+
+  const char* dir = std::getenv("BPROM_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+      "/BENCH_net.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (out) {
+    out << "{\n  \"bench\": \"net\",\n"
+        << "  \"threads\": " << util::default_pool().size() << ",\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"rounds\": " << rounds << ",\n"
+        << "  \"burst\": " << burst << ",\n"
+        << "  \"offered\": " << offered << ",\n"
+        << "  \"completed\": " << completed << ",\n"
+        << "  \"failed\": " << failed << ",\n"
+        << "  \"wall_seconds\": " << wall_seconds << ",\n"
+        << "  \"throughput_rps\": " << throughput << ",\n"
+        << "  \"latency_ms\": {\"p50\": " << percentile(latency_ms, 0.50)
+        << ", \"p95\": " << percentile(latency_ms, 0.95)
+        << ", \"p99\": " << percentile(latency_ms, 0.99) << "},\n"
+        << "  \"rejected\": {\"client_observed\": " << rejected
+        << ", \"in_flight\": " << counters.rejected_in_flight
+        << ", \"total_in_flight\": " << counters.rejected_total_in_flight
+        << ", \"request_budget\": " << counters.rejected_request_budget
+        << ", \"byte_budget\": " << counters.rejected_byte_budget
+        << ", \"protocol\": " << counters.rejected_protocol << "},\n"
+        << "  \"connections_accepted\": " << counters.connections_accepted
+        << ",\n"
+        << "  \"bytes_received\": " << counters.bytes_received << ",\n"
+        << "  \"bytes_sent\": " << counters.bytes_sent << "\n}\n";
+    std::printf("bench report: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+
+  // The acceptance bar: overload degrades into typed rejection, nothing
+  // fails untyped, and admitted work still completes.
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu requests failed with untyped errors\n", failed);
+    return 1;
+  }
+  if (completed == 0 || rejected == 0) {
+    std::fprintf(stderr,
+                 "expected both completions and typed rejections under "
+                 "overload (completed %zu, rejected %zu)\n",
+                 completed, rejected);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool socket_mode =
+      argc > 1 && std::strcmp(argv[1], "--socket") == 0;
   util::Stopwatch total;
   const std::size_t batches = util::by_scale<std::size_t>(4, 12, 32);
   const std::size_t batch_size = util::by_scale<std::size_t>(2, 4, 8);
@@ -113,6 +294,8 @@ int main() {
     std::fprintf(stderr, "publish failed\n");
     return 1;
   }
+
+  if (socket_mode) return run_socket_mode(engine, suspicious, total);
 
   std::vector<std::unique_ptr<nn::BlackBoxAdapter>> boxes;
   boxes.reserve(batches * batch_size);

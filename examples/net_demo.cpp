@@ -1,0 +1,172 @@
+// The network front end in one self-checking walkthrough:
+//
+//   1. fit + publish "market@v1" through api::AuditEngine,
+//   2. start a net::Server over the engine on a loopback port,
+//   3. audit a small marketplace over the socket — models serialized,
+//      uploaded, decoded, and queried server-side,
+//   4. audit the same models in-process through AuditEngine::audit()
+//      (single-request batches, exactly what the server submits), and
+//      diff verdicts AND query counts — they must be byte-identical:
+//      a save->load round trip of the uploaded weights is byte-exact,
+//      so the wire must be invisible in the result,
+//   5. fetch engine + transport stats over the wire and cross-check the
+//      request tallies,
+//   6. exit nonzero on any non-OK Status or any mismatch — the CI gate.
+//
+// Run under BPROM_THREADS=1 and 8: output (timing stripped) is identical.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "core/experiment.hpp"
+#include "data/ops.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "nn/blackbox.hpp"
+
+namespace {
+
+using namespace bprom;
+
+bool same_verdict(const core::Verdict& a, const core::Verdict& b) {
+  return a.score == b.score && a.backdoored == b.backdoored &&
+         a.prompted_accuracy == b.prompted_accuracy && a.queries == b.queries;
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = core::ExperimentScale::current();
+  auto src = data::make_dataset(data::DatasetKind::kCifar10, 1);
+  auto tgt = data::make_dataset(data::DatasetKind::kStl10, 2);
+  const auto arch = nn::ArchKind::kResNet18Mini;
+
+  std::printf("== net_demo: publish -> serve on a socket -> audit -> "
+              "diff against in-process ==\n");
+
+  // A small marketplace: clean and backdoored vendor uploads.
+  std::vector<core::TrainedSuspicious> marketplace;
+  marketplace.push_back(core::train_clean_model(src, arch, 800, scale));
+  marketplace.push_back(core::train_clean_model(src, arch, 801, scale));
+  for (auto kind :
+       {attacks::AttackKind::kBadNets, attacks::AttackKind::kWaNet}) {
+    marketplace.push_back(core::train_backdoored_model(
+        src, attacks::AttackConfig::defaults(kind, 1), arch, 900 + (int)kind,
+        scale));
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bprom_net_demo").string();
+  std::filesystem::remove_all(dir);  // versions are per-run; start clean
+
+  api::AuditEngine engine({.store_dir = dir});
+  if (!engine.status().ok()) {
+    std::printf("FAIL: engine: %s\n", engine.status().to_string().c_str());
+    return 1;
+  }
+  core::BpromDetector detector = core::fit_detector(
+      src, tgt, 0.10, arch, 7, scale);
+  if (auto published = engine.publish("market", std::move(detector));
+      !published.ok()) {
+    std::printf("FAIL: publish: %s\n",
+                published.status().to_string().c_str());
+    return 1;
+  }
+
+  // --- 2: the socket front end (its own acceptor + IO threads). ----------
+  net::ServerConfig server_config;
+  server_config.io_threads = 2;
+  net::Server server(engine, server_config);
+  if (auto started = server.start(); !started.ok()) {
+    std::printf("FAIL: server: %s\n", started.to_string().c_str());
+    return 1;
+  }
+  // The kernel assigns the port; don't print it — CI diffs this output
+  // across thread counts and the port is the one nondeterministic bit.
+  std::printf("serving on 127.0.0.1 (kernel-assigned port)\n");
+
+  // --- 3: the marketplace audited over the wire. --------------------------
+  auto client = net::Client::connect({.port = server.port()});
+  if (!client.ok()) {
+    std::printf("FAIL: connect: %s\n", client.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<net::ClientAuditRequest> uploads(marketplace.size());
+  for (std::size_t i = 0; i < marketplace.size(); ++i) {
+    uploads[i].model_id = "listing-" + std::to_string(i);
+    uploads[i].detector = "market";
+    uploads[i].model = marketplace[i].model.get();
+  }
+  auto wire = client.value().audit_batch(uploads);
+  if (!wire.ok()) {
+    std::printf("FAIL: audit_batch: %s\n", wire.status().to_string().c_str());
+    return 1;
+  }
+
+  // --- 4: the same models in-process, single-request batches. -------------
+  std::vector<api::AuditResponse> local;
+  for (std::size_t i = 0; i < marketplace.size(); ++i) {
+    nn::BlackBoxAdapter box(*marketplace[i].model);
+    api::AuditRequest request;
+    request.model_id = uploads[i].model_id;
+    request.detector = "market";
+    request.model = &box;
+    local.push_back(engine.audit({request})[0]);
+  }
+
+  std::printf("\n%-10s %-10s %-10s %-8s %-7s %-6s %s\n", "id", "detector",
+              "score", "verdict", "queries", "match", "time");
+  bool all_ok = true;
+  for (std::size_t i = 0; i < marketplace.size(); ++i) {
+    const api::AuditResponse& got = wire.value()[i];
+    const api::AuditResponse& want = local[i];
+    const bool ok = got.status.ok() && want.status.ok() &&
+                    got.detector_version == want.detector_version &&
+                    same_verdict(got.verdict, want.verdict);
+    all_ok = all_ok && ok;
+    std::printf("%-10s %-10s %-10.6f %-8s %-7zu %-6s %.1fms\n",
+                got.model_id.c_str(), got.detector_version.c_str(),
+                got.verdict.score,
+                got.verdict.backdoored ? "BACKDOOR" : "clean",
+                got.verdict.queries, ok ? "yes" : "NO", got.seconds * 1e3);
+  }
+
+  // --- 5: stats over the wire (engine + transport, one frame). ------------
+  auto stats = client.value().stats();
+  if (!stats.ok()) {
+    std::printf("FAIL: stats: %s\n", stats.status().to_string().c_str());
+    return 1;
+  }
+  const net::StatsResponseMsg& msg = stats.value();
+  const std::size_t expect_requests = 2 * marketplace.size();
+  std::printf("\nwire stats: %llu requests, %llu verdicts, %llu queries; "
+              "transport: %llu conns, %llu admitted, %llu rejected\n",
+              (unsigned long long)msg.engine.requests,
+              (unsigned long long)msg.engine.verdicts,
+              (unsigned long long)msg.engine.queries,
+              (unsigned long long)msg.server.connections_accepted,
+              (unsigned long long)msg.server.requests_admitted,
+              (unsigned long long)(msg.server.rejected_in_flight +
+                                   msg.server.rejected_total_in_flight +
+                                   msg.server.rejected_request_budget +
+                                   msg.server.rejected_byte_budget +
+                                   msg.server.rejected_protocol));
+  if (msg.engine.requests != expect_requests ||
+      msg.server.requests_admitted != marketplace.size()) {
+    std::printf("FAIL: stats tallies do not add up\n");
+    return 1;
+  }
+  std::printf("Ground truth: listings 0-1 clean; 2-3 backdoored.\n");
+
+  server.stop();
+  if (!all_ok) {
+    std::printf("FAIL: socket verdicts differ from the in-process path\n");
+    return 1;
+  }
+  std::printf("OK: socket-path verdicts and query counts are bit-identical "
+              "to in-process audits\n");
+  return 0;
+}

@@ -82,22 +82,45 @@ void AuditEngine::serve_loop() {
         static_cast<std::uint64_t>(job.submitted.seconds() * 1e9));
     profiler_.record_value(util::ProfileStage::kQueueDepth,
                            async_ring_.size());
+    std::vector<AuditResponse> responses;
+    bool completed = true;
     try {
-      std::vector<AuditResponse> responses;
-      {
-        // Scoped so the sample is recorded BEFORE set_value wakes the
-        // future's owner — a stats() right after future.get() must already
-        // see this batch.
-        util::ScopedProfile batch_timer(&profiler_,
-                                        util::ProfileStage::kBatch);
-        responses = audit_from(job.batch, job.submitted);
-      }
-      job.done.set_value(std::move(responses));
+      // Scoped so the sample is recorded BEFORE the completion wakes the
+      // batch's owner — a stats() right after future.get() (or inside the
+      // callback) must already see this batch.
+      util::ScopedProfile batch_timer(&profiler_, util::ProfileStage::kBatch);
+      responses = audit_from(job.batch, job.submitted);
     } catch (...) {
       // audit_from reports per-request failures in-band; this catches the
-      // truly exceptional (bad_alloc in the response vector).  The future
-      // must still wake its owner.
-      job.done.set_exception(std::current_exception());
+      // truly exceptional (bad_alloc in the response vector).  The
+      // completion must still wake the batch's owner.
+      completed = false;
+      if (job.callback) {
+        // Callback completions have no exception channel: synthesize
+        // per-request kInternal responses so the callback still fires once.
+        std::string what = "batch failed exceptionally";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
+        responses.resize(job.batch.size());
+        for (std::size_t i = 0; i < job.batch.size(); ++i) {
+          responses[i].model_id = job.batch[i].model_id;
+          responses[i].status = Status::Internal(what);
+        }
+        completed = true;
+      } else {
+        job.done.set_exception(std::current_exception());
+      }
+    }
+    if (completed) {
+      if (job.callback) {
+        job.callback(std::move(responses));
+      } else {
+        job.done.set_value(std::move(responses));
+      }
     }
     job = AsyncJob{};  // release request references before the next wait
   }
@@ -472,6 +495,18 @@ std::future<std::vector<AuditResponse>> AuditEngine::audit_async(
     job.done.set_value(audit_from(job.batch, job.submitted));
   }
   return future;
+}
+
+void AuditEngine::audit_async(std::vector<AuditRequest> batch,
+                              AuditCallback on_done) {
+  AsyncJob job;
+  job.batch = std::move(batch);
+  job.callback = std::move(on_done);
+  if (!async_ring_.push_wait(std::move(job))) {
+    // Ring closed (engine tearing down): complete inline so the callback
+    // still fires exactly once; push_wait left `job` untouched on failure.
+    job.callback(audit_from(job.batch, job.submitted));
+  }
 }
 
 EngineStats AuditEngine::stats() const {

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -136,6 +137,17 @@ class AuditEngine {
   [[nodiscard]] std::future<std::vector<AuditResponse>> audit_async(
       std::vector<AuditRequest> batch);
 
+  /// Completion delivered by callback instead of future.  Same queueing,
+  /// backpressure, and deadline semantics as the future overload; `on_done`
+  /// runs on a serving worker (or inline on the caller when the ring is
+  /// already closed) exactly once, and MUST NOT throw — event-driven
+  /// callers (the net front end) use it to release admission slots and
+  /// drain barriers, so a lost invocation would wedge them.  If the batch
+  /// itself dies exceptionally, the callback still fires with per-request
+  /// kInternal statuses.
+  using AuditCallback = std::function<void(std::vector<AuditResponse>)>;
+  void audit_async(std::vector<AuditRequest> batch, AuditCallback on_done);
+
   [[nodiscard]] EngineStats stats() const;
 
  private:
@@ -184,11 +196,13 @@ class AuditEngine {
   /// a snapshot flips the profiler's epoch buffers.
   mutable util::Profiler profiler_;
 
-  /// One queued async batch: the requests, the promise its future watches,
-  /// and the submission clock deadlines anchor to.
+  /// One queued async batch: the requests, its completion (a promise for
+  /// the future overload, a callback for the callback overload — exactly
+  /// one is live), and the submission clock deadlines anchor to.
   struct AsyncJob {
     std::vector<AuditRequest> batch;
     std::promise<std::vector<AuditResponse>> done;
+    AuditCallback callback;
     util::Stopwatch submitted;
   };
 

@@ -1,0 +1,83 @@
+#include "net/admission.hpp"
+
+#include <string>
+
+namespace bprom::net {
+
+api::Status AdmissionControl::admit(std::size_t in_flight,
+                                    std::uint64_t requests_seen,
+                                    std::uint64_t bytes_seen) {
+  if (config_.max_requests_per_connection > 0 &&
+      requests_seen > config_.max_requests_per_connection) {
+    // relaxed: statistics tally — the typed rejection itself is the signal,
+    // the counter only feeds the stats endpoint.
+    rejected_request_budget_.fetch_add(1, std::memory_order_relaxed);
+    return api::Status::BudgetExhausted(
+        "connection exhausted its request budget of " +
+        std::to_string(config_.max_requests_per_connection));
+  }
+  if (config_.max_bytes_per_connection > 0 &&
+      bytes_seen > config_.max_bytes_per_connection) {
+    // relaxed: statistics tally (see above).
+    rejected_byte_budget_.fetch_add(1, std::memory_order_relaxed);
+    return api::Status::BudgetExhausted(
+        "connection exhausted its byte budget of " +
+        std::to_string(config_.max_bytes_per_connection) + " bytes");
+  }
+  if (config_.max_in_flight_per_connection > 0 &&
+      in_flight >= config_.max_in_flight_per_connection) {
+    // relaxed: statistics tally (see above).
+    rejected_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    return api::Status::BudgetExhausted(
+        "connection already has " + std::to_string(in_flight) +
+        " audits in flight (limit " +
+        std::to_string(config_.max_in_flight_per_connection) + ")");
+  }
+  if (config_.max_in_flight_total > 0) {
+    // CAS loop so concurrent IO threads cannot admit past the global cap.
+    std::size_t current =
+        total_in_flight_.load(std::memory_order_relaxed);  // relaxed: CAS
+                                                           // below re-reads
+    for (;;) {
+      if (current >= config_.max_in_flight_total) {
+        // relaxed: statistics tally (see above).
+        rejected_total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+        return api::Status::BudgetExhausted(
+            "server has " + std::to_string(current) +
+            " audits in flight (limit " +
+            std::to_string(config_.max_in_flight_total) + ")");
+      }
+      if (total_in_flight_.compare_exchange_weak(current, current + 1,
+                                                 std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+  } else {
+    // relaxed: pure occupancy tally when no cap gates on it.
+    total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // relaxed: statistics tally.
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return api::Status::Ok();
+}
+
+void AdmissionControl::release() {
+  // acq_rel pairs with the admit() CAS so a slot freed on a serve worker is
+  // visible to the next IO-thread admission decision.
+  total_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void AdmissionControl::fill(ServerCounters* counters) const {
+  // relaxed: snapshot reads of statistics tallies, not a transaction.
+  counters->requests_admitted = admitted_.load(std::memory_order_relaxed);
+  counters->rejected_in_flight =
+      rejected_in_flight_.load(std::memory_order_relaxed);  // relaxed: ^
+  counters->rejected_total_in_flight =
+      rejected_total_in_flight_.load(std::memory_order_relaxed);  // relaxed: ^
+  counters->rejected_request_budget =
+      rejected_request_budget_.load(std::memory_order_relaxed);  // relaxed: ^
+  counters->rejected_byte_budget =
+      rejected_byte_budget_.load(std::memory_order_relaxed);  // relaxed: ^
+}
+
+}  // namespace bprom::net

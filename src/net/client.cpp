@@ -1,0 +1,211 @@
+#include "net/client.hpp"
+
+#include <array>
+#include <map>
+#include <utility>
+
+#include "io/binary.hpp"
+#include "nn/model.hpp"
+
+namespace bprom::net {
+
+namespace {
+
+/// Lift a wire response into the façade's value type (same fields).
+api::AuditResponse from_wire(AuditResponseMsg msg) {
+  api::AuditResponse out;
+  out.struct_version = msg.struct_version;
+  out.model_id = std::move(msg.model_id);
+  out.detector_version = std::move(msg.detector_version);
+  out.status = std::move(msg.status);
+  out.verdict = msg.verdict;
+  out.seconds = msg.seconds;
+  return out;
+}
+
+}  // namespace
+
+api::Result<Client> Client::connect(const ClientConfig& config) {
+  auto sock = connect_to(config.host, config.port);
+  if (!sock.ok()) return sock.status();
+  return Client(std::move(sock).value(), config);
+}
+
+api::Status Client::send_frame(MsgType type, std::uint64_t request_id,
+                               const io::Writer& body) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, request_id, body);
+  api::Status sent = send_all(sock_.fd(), frame.data(), frame.size());
+  if (!sent.ok()) close();  // a half-written frame is unrecoverable
+  return sent;
+}
+
+api::Status Client::read_frame(FrameHeader* header,
+                               std::vector<std::uint8_t>* body) {
+  std::array<std::uint8_t, 16 * 1024> buf;
+  for (;;) {
+    const FrameAssembler::Next next = assembler_.next(header, body);
+    if (next == FrameAssembler::Next::kFrame) return api::Status::Ok();
+    if (next == FrameAssembler::Next::kError) {
+      api::Status error = assembler_.error();
+      close();
+      return error;
+    }
+    std::size_t got = 0;
+    if (api::Status s = recv_some(sock_.fd(), buf.data(), buf.size(), &got);
+        !s.ok()) {
+      close();
+      return s;
+    }
+    if (got == 0) {
+      close();
+      return api::Status::Internal(
+          "server closed the connection before answering");
+    }
+    assembler_.append(buf.data(), got);
+  }
+}
+
+api::Result<api::AuditResponse> Client::audit(
+    const ClientAuditRequest& request) {
+  auto responses = audit_batch({request});
+  if (!responses.ok()) return responses.status();
+  return std::move(responses).value()[0];
+}
+
+api::Result<std::vector<api::AuditResponse>> Client::audit_batch(
+    const std::vector<ClientAuditRequest>& requests) {
+  if (!sock_.valid()) {
+    return api::Status::FailedPrecondition("client is not connected");
+  }
+  std::vector<api::AuditResponse> out(requests.size());
+  // Pipelining: write every request frame up front, then collect responses
+  // matched by echoed request id (the server may complete out of order).
+  std::map<std::uint64_t, std::size_t> pending;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ClientAuditRequest& request = requests[i];
+    if (request.model == nullptr) {
+      close();  // the batch is partially sent; do not desynchronize
+      return api::Status::InvalidRequest(
+          "audit request '" + request.model_id + "' has no model");
+    }
+    AuditRequestMsg msg;
+    msg.model_id = request.model_id;
+    msg.detector = request.detector;
+    msg.query_budget = request.query_budget;
+    msg.deadline_ms = request.deadline_ms;
+    io::Writer writer;
+    encode_audit_request(writer, msg, *request.model);
+    const std::uint64_t id = next_id_++;
+    if (api::Status s = send_frame(MsgType::kAuditRequest, id, writer);
+        !s.ok()) {
+      return s;
+    }
+    pending.emplace(id, i);
+  }
+  while (!pending.empty()) {
+    FrameHeader header;
+    std::vector<std::uint8_t> body;
+    if (api::Status s = read_frame(&header, &body); !s.ok()) return s;
+    const auto it = pending.find(header.request_id);
+    if (it == pending.end()) {
+      close();
+      return api::Status::Internal(
+          "server answered request id " + std::to_string(header.request_id) +
+          " which is not pending");
+    }
+    const std::size_t slot = it->second;
+    pending.erase(it);
+    try {
+      io::Reader reader(std::move(body));
+      if (header.type == MsgType::kAuditResponse) {
+        out[slot] = from_wire(decode_audit_response(reader));
+      } else if (header.type == MsgType::kError) {
+        // Typed rejection (admission, undecodable request): surface it as
+        // the slot's status, like the engine reports per-request failures.
+        out[slot].model_id = requests[slot].model_id;
+        out[slot].status = decode_error(reader).status;
+      } else {
+        close();
+        return api::Status::Internal(
+            "server answered an audit with message type " +
+            std::to_string(static_cast<unsigned>(header.type)));
+      }
+    } catch (const io::IoError& e) {
+      close();
+      return status_from_io(e);
+    }
+  }
+  return out;
+}
+
+api::Result<StatsResponseMsg> Client::stats() {
+  if (!sock_.valid()) {
+    return api::Status::FailedPrecondition("client is not connected");
+  }
+  io::Writer writer;
+  encode_stats_request(writer);
+  const std::uint64_t id = next_id_++;
+  if (api::Status s = send_frame(MsgType::kStatsRequest, id, writer); !s.ok()) {
+    return s;
+  }
+  FrameHeader header;
+  std::vector<std::uint8_t> body;
+  if (api::Status s = read_frame(&header, &body); !s.ok()) return s;
+  if (header.request_id != id) {
+    close();
+    return api::Status::Internal("server answered the wrong request id");
+  }
+  try {
+    io::Reader reader(std::move(body));
+    if (header.type == MsgType::kError) return decode_error(reader).status;
+    if (header.type != MsgType::kStatsResponse) {
+      close();
+      return api::Status::Internal(
+          "server answered stats with message type " +
+          std::to_string(static_cast<unsigned>(header.type)));
+    }
+    return decode_stats_response(reader);
+  } catch (const io::IoError& e) {
+    close();
+    return status_from_io(e);
+  }
+}
+
+api::Result<api::DetectorInfo> Client::info(const std::string& detector) {
+  if (!sock_.valid()) {
+    return api::Status::FailedPrecondition("client is not connected");
+  }
+  InfoRequestMsg msg;
+  msg.detector = detector;
+  io::Writer writer;
+  encode_info_request(writer, msg);
+  const std::uint64_t id = next_id_++;
+  if (api::Status s = send_frame(MsgType::kInfoRequest, id, writer); !s.ok()) {
+    return s;
+  }
+  FrameHeader header;
+  std::vector<std::uint8_t> body;
+  if (api::Status s = read_frame(&header, &body); !s.ok()) return s;
+  if (header.request_id != id) {
+    close();
+    return api::Status::Internal("server answered the wrong request id");
+  }
+  try {
+    io::Reader reader(std::move(body));
+    if (header.type == MsgType::kError) return decode_error(reader).status;
+    if (header.type != MsgType::kInfoResponse) {
+      close();
+      return api::Status::Internal(
+          "server answered info with message type " +
+          std::to_string(static_cast<unsigned>(header.type)));
+    }
+    InfoResponseMsg response = decode_info_response(reader);
+    if (!response.status.ok()) return response.status;
+    return response.info;
+  } catch (const io::IoError& e) {
+    close();
+    return status_from_io(e);
+  }
+}
+
+}  // namespace bprom::net

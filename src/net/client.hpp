@@ -1,0 +1,102 @@
+// net::Client — the blocking client half of the BPROM network protocol.
+//
+// A deliberately small, synchronous library: one TCP connection, typed
+// calls (`audit`, `audit_batch`, `stats`, `info`) that mirror the
+// api::AuditEngine façade, and the same typed api::Status vocabulary on
+// every failure.  Transport-level problems (connect/send/recv failures,
+// corrupt or unparseable frames) fail the *call*; per-request problems
+// (unknown detector, exhausted budget, admission rejections) come back as
+// non-OK statuses inside the matching response, exactly like the
+// in-process engine.
+//
+// `audit_batch` is pipelined: every request frame is written before the
+// first response is read, so a batch costs one round trip plus server
+// time instead of N round trips.  The server may complete requests out of
+// order (its serving workers race); responses are matched back to their
+// slots by the echoed request id, so callers always see batch order.
+//
+// Not thread-safe: one Client is one connection with one in-flight call.
+// Open one Client per thread (connections are cheap; the server's
+// admission budgets are per connection anyway).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "api/types.hpp"
+#include "net/frame.hpp"
+#include "net/messages.hpp"
+#include "net/socket.hpp"
+
+namespace bprom::nn {
+class Model;
+}  // namespace bprom::nn
+
+namespace bprom::net {
+
+struct ClientConfig {
+  /// Numeric IPv4 server address.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Ceiling on one received frame's body (mirror of the server knob).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// One audit to submit over the wire.  The model is borrowed and gets
+/// serialized into the request frame (non-const: nn::Model::save walks
+/// mutable layer state); it only needs to outlive the call.
+struct ClientAuditRequest {
+  std::string model_id;
+  std::string detector;
+  nn::Model* model = nullptr;
+  std::uint64_t query_budget = api::kUnlimitedQueries;
+  std::uint64_t deadline_ms = 0;
+};
+
+class Client {
+ public:
+  /// Connect (blocking) to a running net::Server.
+  static api::Result<Client> connect(const ClientConfig& config);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Audit one model; the engine's response, typed failures in-band.
+  api::Result<api::AuditResponse> audit(const ClientAuditRequest& request);
+
+  /// Pipelined batch: all requests are sent before responses are read.
+  /// The returned vector keeps request order; admission rejections and
+  /// per-request failures are non-OK statuses in the matching slot.
+  api::Result<std::vector<api::AuditResponse>> audit_batch(
+      const std::vector<ClientAuditRequest>& requests);
+
+  /// EngineStats + the server's transport/admission counters.
+  api::Result<StatsResponseMsg> stats();
+
+  /// Metadata of a published detector ("name" or pinned "name@vN").
+  api::Result<api::DetectorInfo> info(const std::string& detector);
+
+  /// Drop the connection; subsequent calls fail kFailedPrecondition.
+  void close() { sock_.close(); }
+
+  [[nodiscard]] bool connected() const { return sock_.valid(); }
+
+ private:
+  explicit Client(Socket sock, const ClientConfig& config)
+      : sock_(std::move(sock)), assembler_(config.max_frame_bytes) {}
+
+  /// Block until one complete frame arrives (or the stream dies).
+  api::Status read_frame(FrameHeader* header, std::vector<std::uint8_t>* body);
+  api::Status send_frame(MsgType type, std::uint64_t request_id,
+                         const io::Writer& body);
+
+  Socket sock_;
+  FrameAssembler assembler_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace bprom::net

@@ -1,0 +1,105 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace bprom::net {
+
+namespace {
+
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] |
+                                    (static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+}  // namespace
+
+void encode_frame_header(const FrameHeader& header,
+                         std::uint8_t out[kFrameHeaderBytes]) {
+  std::memcpy(out, kFrameMagic, 4);
+  put_u16(out + 4, header.protocol_version);
+  out[6] = static_cast<std::uint8_t>(header.type);
+  out[7] = header.flags;
+  put_u64(out + 8, header.request_id);
+  put_u64(out + 16, header.body_len);
+}
+
+std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t request_id,
+                                       const io::Writer& body) {
+  const std::vector<std::uint8_t> container = body.finish();
+  FrameHeader header;
+  header.type = type;
+  header.request_id = request_id;
+  header.body_len = container.size();
+  std::vector<std::uint8_t> frame(kFrameHeaderBytes + container.size());
+  encode_frame_header(header, frame.data());
+  std::memcpy(frame.data() + kFrameHeaderBytes, container.data(),
+              container.size());
+  return frame;
+}
+
+void FrameAssembler::append(const std::uint8_t* data, std::size_t n) {
+  if (dead_ || n == 0) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state appends are a plain insert without quadratic memmoves.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+FrameAssembler::Next FrameAssembler::next(FrameHeader* header,
+                                          std::vector<std::uint8_t>* body) {
+  if (dead_) return Next::kError;
+  if (buffered() < kFrameHeaderBytes) return Next::kNeedMore;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  if (std::memcmp(head, kFrameMagic, 4) != 0) {
+    dead_ = true;
+    error_ = api::Status::InvalidRequest(
+        "bad frame magic: not the BPROM network protocol");
+    return Next::kError;
+  }
+  FrameHeader parsed;
+  parsed.protocol_version = get_u16(head + 4);
+  parsed.type = static_cast<MsgType>(head[6]);
+  parsed.flags = head[7];
+  parsed.request_id = get_u64(head + 8);
+  parsed.body_len = get_u64(head + 16);
+  if (parsed.body_len > max_body_bytes_) {
+    // Refuse before buffering: an oversized length prefix must not make the
+    // receiver allocate attacker-chosen amounts of memory.
+    dead_ = true;
+    error_ = api::Status::InvalidRequest(
+        "frame body of " + std::to_string(parsed.body_len) +
+        " bytes exceeds the " + std::to_string(max_body_bytes_) +
+        "-byte frame limit");
+    return Next::kError;
+  }
+  if (buffered() < kFrameHeaderBytes + parsed.body_len) return Next::kNeedMore;
+  const std::uint8_t* body_start = head + kFrameHeaderBytes;
+  body->assign(body_start, body_start + parsed.body_len);
+  *header = parsed;
+  consumed_ += kFrameHeaderBytes + static_cast<std::size_t>(parsed.body_len);
+  return Next::kFrame;
+}
+
+}  // namespace bprom::net

@@ -1,0 +1,118 @@
+// Length-prefixed binary framing for the BPROM network protocol.
+//
+// A frame is a fixed 24-byte header followed by a body that is a complete
+// `src/io` container (magic + format version + payload length + CRC-32):
+//
+//   offset  size  field
+//        0     4  frame magic "BPNF"
+//        4     2  protocol version (u16, kProtocolVersion)
+//        6     1  message type (net::MsgType)
+//        7     1  flags (reserved, must be 0)
+//        8     8  request id (u64, chosen by the client, echoed verbatim)
+//       16     8  body length in bytes (u64)
+//       24     …  body: io::Writer::finish() bytes of the typed message
+//
+// The header gives a socket reader exactly what it needs before any
+// allocation-by-attacker can happen: the magic rejects non-protocol bytes,
+// the body length is bounds-checked against a configured maximum *before*
+// the body is buffered, and the body's own CRC (verified by io::Reader)
+// rejects bit flips end to end.  Integrity and versioning of the body are
+// therefore the same machinery `.bprom` containers already use — a corrupt
+// frame fails exactly like a corrupt artifact, with the same typed Status.
+//
+// Partial reads are the normal case on a non-blocking socket, so the
+// parser is an incremental assembler: feed it whatever bytes arrived and
+// it yields zero or more complete frames, or a typed, unrecoverable error
+// (bad magic / oversized length — after either, the stream cannot be
+// resynchronized and the connection must close).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/status.hpp"
+#include "io/binary.hpp"
+
+namespace bprom::net {
+
+/// Version of the frame header + message-type table.  A server answers a
+/// newer protocol version with kVersionMismatch instead of guessing at a
+/// header layout it does not know.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Frame magic: "BPNF" (BProm Net Frame).
+inline constexpr std::uint8_t kFrameMagic[4] = {'B', 'P', 'N', 'F'};
+
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Default ceiling on one frame's body (covers a serialized suspicious
+/// model with slack); ServerConfig/ClientConfig can lower or raise it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64ull << 20;
+
+/// Wire message types.  Requests are client -> server; responses mirror
+/// them.  kError answers any frame whose request could not be decoded far
+/// enough to produce the matching typed response.
+enum class MsgType : std::uint8_t {
+  kError = 0,
+  kAuditRequest = 1,
+  kAuditResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kInfoRequest = 5,
+  kInfoResponse = 6,
+};
+
+struct FrameHeader {
+  std::uint16_t protocol_version = kProtocolVersion;
+  MsgType type = MsgType::kError;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t body_len = 0;
+};
+
+/// Serialize `header` into its 24-byte wire form (little-endian).
+void encode_frame_header(const FrameHeader& header,
+                         std::uint8_t out[kFrameHeaderBytes]);
+
+/// One complete wire frame: header + the finished io container holding the
+/// encoded message body.
+std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t request_id,
+                                       const io::Writer& body);
+
+/// Incremental frame parser over a byte stream (see file comment).
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_body_bytes = kDefaultMaxFrameBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  /// Buffer `n` freshly received bytes.
+  void append(const std::uint8_t* data, std::size_t n);
+
+  enum class Next {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< *header/*body filled; the frame's bytes were consumed
+    kError,     ///< stream is unrecoverable; see error(), close the stream
+  };
+
+  /// Extract the next complete frame, if any.  The body is the raw io
+  /// container bytes — hand them to io::Reader to CRC-check and decode.
+  /// After kError every further call returns kError again.
+  Next next(FrameHeader* header, std::vector<std::uint8_t>* body);
+
+  /// Why the stream died (kError only): bad magic or oversized body.
+  [[nodiscard]] const api::Status& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  [[nodiscard]] std::size_t buffered() const {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::size_t max_body_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool dead_ = false;
+  api::Status error_;
+};
+
+}  // namespace bprom::net

@@ -1,0 +1,121 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bprom::net {
+
+namespace {
+
+api::Status errno_status(const std::string& what) {
+  return api::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+api::Result<sockaddr_in> parse_addr(const std::string& host,
+                                    std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return api::Status::InvalidRequest("'" + host +
+                                       "' is not a numeric IPv4 address");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+api::Result<Socket> listen_on(const std::string& host, std::uint16_t port,
+                              int backlog) {
+  auto addr = parse_addr(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return errno_status("socket()");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return errno_status("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(sock.fd(), backlog) != 0) return errno_status("listen()");
+  if (api::Status s = set_nonblocking(sock.fd()); !s.ok()) return s;
+  return sock;
+}
+
+api::Result<Socket> connect_to(const std::string& host, std::uint16_t port) {
+  auto addr = parse_addr(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return errno_status("socket()");
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr.value()),
+                   sizeof(sockaddr_in));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return errno_status("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+api::Result<std::uint16_t> local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_status("getsockname()");
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+api::Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return errno_status("fcntl(O_NONBLOCK)");
+  }
+  return api::Status::Ok();
+}
+
+api::Status send_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return errno_status("send()");
+  }
+  return api::Status::Ok();
+}
+
+api::Status recv_some(int fd, std::uint8_t* buf, std::size_t cap,
+                      std::size_t* got) {
+  *got = 0;
+  for (;;) {
+    const ssize_t rc = ::recv(fd, buf, cap, 0);
+    if (rc >= 0) {
+      *got = static_cast<std::size_t>(rc);
+      return api::Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    return errno_status("recv()");
+  }
+}
+
+}  // namespace bprom::net

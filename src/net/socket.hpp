@@ -1,0 +1,66 @@
+// Thin RAII + Status-typed wrappers over the POSIX socket calls the net
+// subsystem uses.  Nothing here knows about frames or messages — just fds,
+// addresses, and partial-IO-correct send/recv helpers.  Addresses are
+// numeric IPv4 only ("127.0.0.1"): the serving deployments this front end
+// targets sit behind their own load balancer / service discovery, so name
+// resolution stays out of the dependency set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "api/status.hpp"
+
+namespace bprom::net {
+
+/// Move-only owner of a socket fd (closed on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Release and close the fd now (idempotent).
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound + listening TCP socket on `host:port` (port 0 = kernel-assigned;
+/// read it back with local_port).  SO_REUSEADDR set, non-blocking.
+api::Result<Socket> listen_on(const std::string& host, std::uint16_t port,
+                              int backlog);
+
+/// Blocking TCP connect to `host:port` with TCP_NODELAY.
+api::Result<Socket> connect_to(const std::string& host, std::uint16_t port);
+
+/// Port a bound socket actually landed on (after listen_on with port 0).
+api::Result<std::uint16_t> local_port(int fd);
+
+api::Status set_nonblocking(int fd);
+
+/// Blocking write of the whole buffer (retries partial writes / EINTR).
+api::Status send_all(int fd, const std::uint8_t* data, std::size_t n);
+
+/// Blocking read of up to `cap` bytes.  *got == 0 means orderly peer close.
+api::Status recv_some(int fd, std::uint8_t* buf, std::size_t cap,
+                      std::size_t* got);
+
+}  // namespace bprom::net

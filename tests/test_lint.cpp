@@ -211,4 +211,36 @@ TEST(LintRules, RepoConfigKeepsEveryRuleOn) {
   EXPECT_TRUE(rules.hot_path("src/tensor/gemm.cpp"));
 }
 
+// src/net owns real IO threads (the epoll loops) but is deliberately NOT
+// path-exempted from raw-thread: each owned thread is a per-site, justified
+// `bprom-lint: allow(raw-thread)`, so under the checked-in configuration a
+// NEW raw thread anywhere in src/net still fires while the sanctioned
+// spawn-site pattern passes.
+TEST(LintRules, NetOwnsThreadsOnlyThroughSanctionedAllowSites) {
+  std::ifstream in(BPROM_LINT_RULES_FILE);
+  ASSERT_TRUE(in.good()) << "missing " << BPROM_LINT_RULES_FILE;
+  std::string error;
+  const Rules rules = Rules::parse(in, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  const std::string bare = "std::thread pump([] {});\n";
+  EXPECT_EQ(bprom::lint::lint_file("src/net/server.cpp", bare, rules).size(),
+            1u)
+      << "an unsanctioned raw thread in src/net must fire raw-thread";
+  EXPECT_EQ(bprom::lint::lint_file("src/net/new_file.cpp", bare, rules).size(),
+            1u);
+
+  const std::string sanctioned =
+      "// bprom-lint: allow(raw-thread) — epoll pump owned by net::Server\n"
+      "std::thread pump([] {});\n";
+  EXPECT_TRUE(
+      bprom::lint::lint_file("src/net/server.cpp", sanctioned, rules).empty());
+
+  // The exemption that sanctions src/util does not leak to src/net-adjacent
+  // paths by substring accident.
+  EXPECT_EQ(
+      bprom::lint::lint_file("src/netutil/helper.cpp", bare, rules).size(),
+      1u);
+}
+
 }  // namespace
