@@ -1,0 +1,95 @@
+// Failpoint overhead microbenchmark: the registry is always compiled in,
+// so its disarmed fast path (one relaxed atomic load per site) must be
+// free for all practical purposes.  Emits BENCH_failpoint.json:
+//   macro/disarmed        seconds for kMacroReps disarmed evaluations
+//   macro/armed_other     same, with an UNRELATED failpoint armed (the
+//                         slow path: registry lookup that misses)
+//   save_load/disarmed    seconds for kIoReps save_file+load round trips
+//   save_load/armed_other same, with an unrelated failpoint armed
+// The printed table adds per-operation costs; the acceptance expectation
+// is single-digit nanoseconds per disarmed site.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common.hpp"
+#include "io/binary.hpp"
+#include "util/failpoint.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+constexpr std::size_t kMacroReps = 20'000'000;
+constexpr std::size_t kIoReps = 200;
+
+/// Accumulate hit results so the compiler cannot delete the loop.
+double macro_seconds() {
+  std::size_t fired = 0;
+  bprom::util::Stopwatch watch;
+  for (std::size_t i = 0; i < kMacroReps; ++i) {
+    fired += static_cast<bool>(BPROM_FAILPOINT("io.read.open"));
+  }
+  const double seconds = watch.seconds();
+  if (fired != 0) std::printf("unexpected: %zu fires\n", fired);
+  return seconds;
+}
+
+double save_load_seconds(const std::string& path) {
+  bprom::util::Stopwatch watch;
+  for (std::size_t i = 0; i < kIoReps; ++i) {
+    bprom::io::Writer writer;
+    writer.write_tag("BNCH");
+    writer.write_u64(i);
+    writer.write_string("failpoint overhead probe payload");
+    writer.save_file(path);
+    bprom::io::Reader reader = bprom::io::Reader::from_file(path);
+    reader.expect_tag("BNCH");
+    (void)reader.read_u64();
+  }
+  return watch.seconds();
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  bench::BenchReport report("failpoint");
+  const std::string dir =
+      (fs::temp_directory_path() / "bprom_bench_failpoint").string();
+  fs::create_directories(dir);
+  const std::string path = dir + "/probe.bprom";
+
+  // Disarmed: the production state.  Every site costs one relaxed load.
+  bprom::util::failpoints_clear();
+  const double macro_off = macro_seconds();
+  const double io_off = save_load_seconds(path);
+
+  // Armed-but-elsewhere: the worst benign state (enabled() is true, every
+  // site takes the slow path and misses the registry lookup).
+  std::string error;
+  if (!bprom::util::failpoints_arm("net.recv.stall=delay:0", &error)) {
+    std::fprintf(stderr, "arm failed: %s\n", error.c_str());
+    return 1;
+  }
+  const double macro_on = macro_seconds();
+  const double io_on = save_load_seconds(path);
+  bprom::util::failpoints_clear();
+
+  const double per_site_off_ns =
+      macro_off / static_cast<double>(kMacroReps) * 1e9;
+  const double per_site_on_ns =
+      macro_on / static_cast<double>(kMacroReps) * 1e9;
+  std::printf("%-22s %12s %14s\n", "state", "ns/site", "ms/save_load");
+  std::printf("%-22s %12.2f %14.3f\n", "disarmed", per_site_off_ns,
+              io_off / kIoReps * 1e3);
+  std::printf("%-22s %12.2f %14.3f\n", "armed_other", per_site_on_ns,
+              io_on / kIoReps * 1e3);
+
+  report.add_cell("macro/disarmed", macro_off);
+  report.add_cell("macro/armed_other", macro_on);
+  report.add_cell("save_load/disarmed", io_off);
+  report.add_cell("save_load/armed_other", io_on);
+  report.write();
+  fs::remove_all(dir);
+  return 0;
+}

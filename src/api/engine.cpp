@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "serve/audit_service.hpp"
+#include "util/failpoint.hpp"
 #include "util/stopwatch.hpp"
 
 namespace bprom::api {
@@ -50,6 +51,7 @@ AuditEngine::AuditEngine(EngineConfig config)
       async_ring_(std::max<std::size_t>(2, config_.async_queue_capacity)) {
   try {
     store_.emplace(config_.store_dir);
+    if (config_.recover_on_start) (void)store_->recover();
   } catch (const io::IoError& e) {
     init_status_ = status_from(e);
   } catch (const std::exception& e) {
@@ -243,6 +245,13 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
   detector.set_pool(config_.pool);
   try {
     store_->put(stem, std::move(detector));
+    // Crash-matrix anchor: the artifact is durable on disk but the
+    // generation bump and rollover have not happened — recovery must
+    // surface name@vN while leaving other engines' change signal intact.
+    if (auto hit = BPROM_FAILPOINT("store.publish.crash")) {
+      (void)hit;
+      return Status::Internal("injected crash between put and rollover");
+    }
     // Still under the StoreLock: the generation counter is the cheap
     // cross-process "someone published" signal other engines poll.
     store_->bump_generation();
@@ -270,6 +279,20 @@ Result<DetectorInfo> AuditEngine::publish(const std::string& name,
     if (latest == 1) store_->evict(name);  // legacy unversioned alias
   }
   return info;
+}
+
+Result<serve::RecoveryReport> AuditEngine::recover() {
+  if (!init_status_.ok()) return init_status_;
+  // Same order as publish: publish_mu_ then (inside recover) the StoreLock,
+  // so recovery serializes against every publisher, in-process or not.
+  util::MutexLock publish_lock(publish_mu_);
+  try {
+    return store_->recover();
+  } catch (const io::IoError& e) {
+    return status_from(e);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
 }
 
 Result<DetectorInfo> AuditEngine::fit(const FitRequest& request) {

@@ -60,6 +60,13 @@ struct EngineConfig {
   /// batch at a time (the batch itself fans out on `pool`), so this is the
   /// cross-batch concurrency of the async path.
   std::size_t async_workers = 2;
+  /// Run DetectorStore::recover() during construction: quarantine torn or
+  /// corrupt artifacts, sweep leftover publish temp files, and repair the
+  /// generation counter before the first request.  Off by default — opening
+  /// a store with a deliberately-corrupt artifact must keep returning typed
+  /// kCorruptArtifact from audits (existing behavior), not silently mutate
+  /// the directory; recovery is an explicit operational choice.
+  bool recover_on_start = false;
 };
 
 /// Exact running totals since construction (relaxed atomics; a snapshot,
@@ -104,6 +111,14 @@ class AuditEngine {
   /// ("name@vN" on disk) and atomically roll the bare name over to it.
   Result<DetectorInfo> publish(const std::string& name,
                                core::BpromDetector detector);
+
+  /// Crash-recovery scan of the backing store (see
+  /// serve::DetectorStore::recover): quarantines torn/corrupt artifacts and
+  /// leftover temp files into `<store>/quarantine/` (never deleting),
+  /// repairs the generation counter, and reports everything it did.  Safe
+  /// against concurrent publishers (takes the publish mutex and the
+  /// cross-process StoreLock); a healthy store comes back `clean()`.
+  Result<serve::RecoveryReport> recover();
 
   /// Metadata of a published detector; loads (and caches) the artifact.
   /// Accepts bare names (newest version) and pinned "name@vN" forms.

@@ -1,9 +1,16 @@
 #include "io/binary.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+
+#include "util/failpoint.hpp"
 
 namespace bprom::io {
 namespace {
@@ -125,23 +132,96 @@ std::vector<std::uint8_t> Writer::finish() const {
   return out;
 }
 
+namespace {
+
+/// RAII fd so every throw below closes cleanly.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// write(2) the whole buffer, retrying on EINTR / partial progress.
+bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
 void Writer::save_file(const std::string& path) const {
   const auto bytes = finish();
   // Stage into a sibling temp file and rename into place: a concurrent
   // reader (e.g. a store resolve racing a publish) must never observe a
   // half-written container, and rename within one directory is atomic.
+  //
+  // Durability order matters: fsync the temp file BEFORE the rename (else a
+  // crash can leave the final name pointing at zero-length or torn data on
+  // journaled filesystems), and fsync the parent directory AFTER (else the
+  // rename itself — the directory entry — can be lost on power cut even
+  // though the bytes hit the platter).
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw IoError("cannot open for writing: " + tmp, ErrorKind::kIo);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw IoError("short write: " + tmp, ErrorKind::kIo);
+  Fd out;
+  if (auto hit = BPROM_FAILPOINT("io.save.open")) {
+    (void)hit;
+    throw IoError("injected open failure: " + tmp, ErrorKind::kIo);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    throw IoError("cannot move " + tmp + " into place: " + ec.message(),
+  out.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out.fd < 0)
+    throw IoError("cannot open for writing: " + tmp, ErrorKind::kIo);
+  std::size_t to_write = bytes.size();
+  if (auto hit = BPROM_FAILPOINT("io.save.write")) {
+    if (hit.action == util::FailpointAction::kShort) {
+      // Write only the first `arg` bytes — a torn write — then report the
+      // failure the real kernel would have surfaced.
+      to_write = std::min<std::size_t>(to_write, hit.arg);
+      (void)write_fully(out.fd, bytes.data(), to_write);
+    }
+    throw IoError("injected short write: " + tmp, ErrorKind::kIo);
+  }
+  if (!write_fully(out.fd, bytes.data(), to_write))
+    throw IoError("short write: " + tmp, ErrorKind::kIo);
+  if (auto hit = BPROM_FAILPOINT("io.save.fsync.file")) {
+    (void)hit;
+    throw IoError("injected fsync failure: " + tmp, ErrorKind::kIo);
+  }
+  if (::fsync(out.fd) != 0)
+    throw IoError("fsync failed: " + tmp, ErrorKind::kIo);
+  if (::close(out.fd) != 0) {
+    out.fd = -1;
+    throw IoError("close failed: " + tmp, ErrorKind::kIo);
+  }
+  out.fd = -1;
+  if (auto hit = BPROM_FAILPOINT("io.save.rename")) {
+    (void)hit;
+    throw IoError("injected rename failure: " + tmp, ErrorKind::kIo);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw IoError("cannot move " + tmp + " into place: " +
+                      std::string(std::strerror(errno)),
+                  ErrorKind::kIo);
+  }
+  if (auto hit = BPROM_FAILPOINT("io.save.fsync.dir")) {
+    (void)hit;
+    throw IoError("injected directory fsync failure: " + path,
+                  ErrorKind::kIo);
+  }
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  Fd dir;
+  dir.fd = ::open(parent.empty() ? "." : parent.c_str(),
+                  O_RDONLY | O_DIRECTORY);
+  if (dir.fd < 0 || ::fsync(dir.fd) != 0) {
+    throw IoError("cannot fsync parent directory of " + path,
                   ErrorKind::kIo);
   }
 }
@@ -176,6 +256,10 @@ Reader::Reader(std::vector<std::uint8_t> bytes) {
 }
 
 Reader Reader::from_file(const std::string& path) {
+  if (auto hit = BPROM_FAILPOINT("io.read.open")) {
+    (void)hit;
+    throw IoError("injected open failure: " + path, ErrorKind::kIo);
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     std::error_code ec;
@@ -188,6 +272,16 @@ Reader Reader::from_file(const std::string& path) {
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), size);
   if (!in) throw IoError("short read: " + path, ErrorKind::kIo);
+  if (auto hit = BPROM_FAILPOINT("io.read.short")) {
+    // Hand the parser a truncated view — it must produce a typed kCorrupt,
+    // exactly as if the file itself had been torn.
+    if (hit.action == util::FailpointAction::kShort &&
+        bytes.size() > hit.arg) {
+      bytes.resize(hit.arg);
+    } else {
+      throw IoError("injected read failure: " + path, ErrorKind::kIo);
+    }
+  }
   return Reader(std::move(bytes));
 }
 

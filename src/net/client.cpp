@@ -1,7 +1,10 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "io/binary.hpp"
@@ -23,18 +26,48 @@ api::AuditResponse from_wire(AuditResponseMsg msg) {
   return out;
 }
 
+/// Transport failures only: a dead/hung socket looks like kInternal (errno
+/// status, injected fault, server hangup) or kDeadlineExceeded (poll
+/// timeout).  Typed application rejections arrive in-band in a response
+/// slot and never reach this predicate.
+bool transport_retryable(const api::Status& status) {
+  return status.code() == api::StatusCode::kInternal ||
+         status.code() == api::StatusCode::kDeadlineExceeded;
+}
+
+api::Result<Socket> dial(const ClientConfig& config) {
+  return config.connect_timeout_ms > 0 || config.send_timeout_ms > 0 ||
+                 config.recv_timeout_ms > 0
+             ? connect_to(config.host, config.port, config.connect_timeout_ms)
+             : connect_to(config.host, config.port);
+}
+
 }  // namespace
 
 api::Result<Client> Client::connect(const ClientConfig& config) {
-  auto sock = connect_to(config.host, config.port);
+  auto sock = dial(config);
   if (!sock.ok()) return sock.status();
   return Client(std::move(sock).value(), config);
+}
+
+api::Status Client::reconnect() {
+  close();
+  auto sock = dial(config_);
+  if (!sock.ok()) return sock.status();
+  sock_ = std::move(sock).value();
+  // Any half-received frame died with the old connection.
+  assembler_ = FrameAssembler(config_.max_frame_bytes);
+  return api::Status::Ok();
 }
 
 api::Status Client::send_frame(MsgType type, std::uint64_t request_id,
                                const io::Writer& body) {
   const std::vector<std::uint8_t> frame = encode_frame(type, request_id, body);
-  api::Status sent = send_all(sock_.fd(), frame.data(), frame.size());
+  api::Status sent =
+      bounded()
+          ? send_all(sock_.fd(), frame.data(), frame.size(),
+                     config_.send_timeout_ms)
+          : send_all(sock_.fd(), frame.data(), frame.size());
   if (!sent.ok()) close();  // a half-written frame is unrecoverable
   return sent;
 }
@@ -51,8 +84,11 @@ api::Status Client::read_frame(FrameHeader* header,
       return error;
     }
     std::size_t got = 0;
-    if (api::Status s = recv_some(sock_.fd(), buf.data(), buf.size(), &got);
-        !s.ok()) {
+    api::Status s = bounded()
+                        ? recv_some(sock_.fd(), buf.data(), buf.size(), &got,
+                                    config_.recv_timeout_ms)
+                        : recv_some(sock_.fd(), buf.data(), buf.size(), &got);
+    if (!s.ok()) {
       close();
       return s;
     }
@@ -72,22 +108,20 @@ api::Result<api::AuditResponse> Client::audit(
   return std::move(responses).value()[0];
 }
 
-api::Result<std::vector<api::AuditResponse>> Client::audit_batch(
-    const std::vector<ClientAuditRequest>& requests) {
-  if (!sock_.valid()) {
-    return api::Status::FailedPrecondition("client is not connected");
-  }
-  std::vector<api::AuditResponse> out(requests.size());
-  // Pipelining: write every request frame up front, then collect responses
-  // matched by echoed request id (the server may complete out of order).
+api::Status Client::audit_round(
+    const std::vector<ClientAuditRequest>& requests,
+    const std::vector<std::uint64_t>& ids, std::vector<bool>* answered,
+    std::vector<api::AuditResponse>* out) {
+  // Pipelining: write every unanswered request frame up front, then collect
+  // responses matched by echoed request id (the server may complete out of
+  // order).  On a retry pass only the unanswered slots are resent — under
+  // their ORIGINAL ids, so a replayed audit is the same request, not a new
+  // one — while slots the server already answered (verdicts and typed
+  // rejections alike) are left untouched.
   std::map<std::uint64_t, std::size_t> pending;
   for (std::size_t i = 0; i < requests.size(); ++i) {
+    if ((*answered)[i]) continue;
     const ClientAuditRequest& request = requests[i];
-    if (request.model == nullptr) {
-      close();  // the batch is partially sent; do not desynchronize
-      return api::Status::InvalidRequest(
-          "audit request '" + request.model_id + "' has no model");
-    }
     AuditRequestMsg msg;
     msg.model_id = request.model_id;
     msg.detector = request.detector;
@@ -95,12 +129,11 @@ api::Result<std::vector<api::AuditResponse>> Client::audit_batch(
     msg.deadline_ms = request.deadline_ms;
     io::Writer writer;
     encode_audit_request(writer, msg, *request.model);
-    const std::uint64_t id = next_id_++;
-    if (api::Status s = send_frame(MsgType::kAuditRequest, id, writer);
+    if (api::Status s = send_frame(MsgType::kAuditRequest, ids[i], writer);
         !s.ok()) {
       return s;
     }
-    pending.emplace(id, i);
+    pending.emplace(ids[i], i);
   }
   while (!pending.empty()) {
     FrameHeader header;
@@ -118,24 +151,114 @@ api::Result<std::vector<api::AuditResponse>> Client::audit_batch(
     try {
       io::Reader reader(std::move(body));
       if (header.type == MsgType::kAuditResponse) {
-        out[slot] = from_wire(decode_audit_response(reader));
+        (*out)[slot] = from_wire(decode_audit_response(reader));
       } else if (header.type == MsgType::kError) {
         // Typed rejection (admission, undecodable request): surface it as
         // the slot's status, like the engine reports per-request failures.
-        out[slot].model_id = requests[slot].model_id;
-        out[slot].status = decode_error(reader).status;
+        // The slot counts as ANSWERED — the server made an application
+        // decision, and retrying it would re-spend budgets it already
+        // refused to spend.
+        (*out)[slot].model_id = requests[slot].model_id;
+        (*out)[slot].status = decode_error(reader).status;
       } else {
         close();
         return api::Status::Internal(
             "server answered an audit with message type " +
             std::to_string(static_cast<unsigned>(header.type)));
       }
+      (*answered)[slot] = true;
     } catch (const io::IoError& e) {
       close();
       return status_from_io(e);
     }
   }
-  return out;
+  return api::Status::Ok();
+}
+
+api::Result<std::vector<api::AuditResponse>> Client::audit_batch(
+    const std::vector<ClientAuditRequest>& requests) {
+  // Validate before anything hits the wire: a malformed batch is a caller
+  // bug, not a transport fault, and must not trigger reconnects.
+  for (const ClientAuditRequest& request : requests) {
+    if (request.model == nullptr) {
+      return api::Status::InvalidRequest(
+          "audit request '" + request.model_id + "' has no model");
+    }
+  }
+  // Ids are minted once and survive retries: a resent slot is the SAME
+  // request (unchanged id), which is what makes the retry idempotent.
+  std::vector<std::uint64_t> ids(requests.size());
+  for (auto& id : ids) id = next_id_++;
+  std::vector<api::AuditResponse> out(requests.size());
+  std::vector<bool> answered(requests.size(), false);
+
+  const int attempts = std::max(1, config_.retry.max_attempts);
+  api::Status last = api::Status::Ok();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      // Exponential backoff with deterministic seeded jitter.
+      double backoff = config_.retry.backoff_initial_ms;
+      for (int i = 1; i < attempt - 1; ++i) {
+        backoff *= config_.retry.backoff_multiplier;
+      }
+      backoff = std::min(backoff,
+                         static_cast<double>(config_.retry.backoff_max_ms));
+      const auto jitter =
+          backoff > 1.0 ? jitter_.uniform_index(
+                              static_cast<std::size_t>(backoff / 2) + 1)
+                        : 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::int64_t>(backoff) +
+          static_cast<std::int64_t>(jitter)));
+    }
+    if (!sock_.valid()) {
+      if (attempt == 1 && attempts == 1) {
+        return api::Status::FailedPrecondition("client is not connected");
+      }
+      if (api::Status s = reconnect(); !s.ok()) {
+        last = s;
+        continue;  // server may still be coming back; keep backing off
+      }
+    }
+    last = audit_round(requests, ids, &answered, &out);
+    if (last.ok()) return out;
+    if (!transport_retryable(last)) return last;
+  }
+  return last;
+}
+
+api::Status Client::shutdown() {
+  if (!sock_.valid()) {
+    return api::Status::FailedPrecondition("client is not connected");
+  }
+  io::Writer writer;
+  encode_shutdown_request(writer);
+  const std::uint64_t id = next_id_++;
+  if (api::Status s = send_frame(MsgType::kShutdownRequest, id, writer);
+      !s.ok()) {
+    return s;
+  }
+  FrameHeader header;
+  std::vector<std::uint8_t> body;
+  if (api::Status s = read_frame(&header, &body); !s.ok()) return s;
+  if (header.request_id != id) {
+    close();
+    return api::Status::Internal("server answered the wrong request id");
+  }
+  try {
+    io::Reader reader(std::move(body));
+    if (header.type == MsgType::kError) return decode_error(reader).status;
+    if (header.type != MsgType::kShutdownResponse) {
+      close();
+      return api::Status::Internal(
+          "server answered shutdown with message type " +
+          std::to_string(static_cast<unsigned>(header.type)));
+    }
+    return decode_shutdown_response(reader).status;
+  } catch (const io::IoError& e) {
+    close();
+    return status_from_io(e);
+  }
 }
 
 api::Result<StatsResponseMsg> Client::stats() {

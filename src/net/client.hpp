@@ -29,6 +29,7 @@
 #include "net/frame.hpp"
 #include "net/messages.hpp"
 #include "net/socket.hpp"
+#include "util/rng.hpp"
 
 namespace bprom::nn {
 class Model;
@@ -36,12 +37,41 @@ class Model;
 
 namespace bprom::net {
 
+/// Opt-in reconnect-and-retry for idempotent calls (audits: the verdict is
+/// a pure function of detector content, engine seed, and batch salt, so a
+/// replay under the same request id returns bit-identical bytes).  Only
+/// TRANSPORT failures retry — kInternal from a dead socket / injected
+/// fault, kDeadlineExceeded from a transport timeout.  Typed application
+/// rejections (kBudgetExhausted, kVersionMismatch, kNotFound, ...) arrive
+/// in-band in a response slot and are final: retrying them would re-spend
+/// server budgets on a request the server already refused.
+struct RetryPolicy {
+  /// Total attempts, first try included.  1 = no retry (the default).
+  int max_attempts = 1;
+  /// Exponential backoff between attempts:
+  /// min(initial * multiplier^(attempt-1), max) + jitter.
+  int backoff_initial_ms = 10;
+  double backoff_multiplier = 2.0;
+  int backoff_max_ms = 1000;
+  /// Deterministic jitter stream (0..backoff/2 ms per wait) — seeded, so a
+  /// replayed test schedule backs off identically.
+  std::uint64_t jitter_seed = 0;
+};
+
 struct ClientConfig {
   /// Numeric IPv4 server address.
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   /// Ceiling on one received frame's body (mirror of the server knob).
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Transport deadlines, milliseconds; 0 = legacy blocking waits (a hung
+  /// peer hangs the call).  Any non-zero value switches the connection to
+  /// non-blocking + poll, surfacing kDeadlineExceeded on expiry.
+  int connect_timeout_ms = 0;
+  int send_timeout_ms = 0;
+  int recv_timeout_ms = 0;
+  /// Reconnect-and-retry policy for audit calls (see RetryPolicy).
+  RetryPolicy retry;
 };
 
 /// One audit to submit over the wire.  The model is borrowed and gets
@@ -80,23 +110,50 @@ class Client {
   /// Metadata of a published detector ("name" or pinned "name@vN").
   api::Result<api::DetectorInfo> info(const std::string& detector);
 
-  /// Drop the connection; subsequent calls fail kFailedPrecondition.
+  /// Ask the server to drain gracefully (stop accepting, finish in-flight
+  /// audits, flush, close).  OK means the drain began; the connection is
+  /// closed by the server once its write queue empties.  Never retried.
+  api::Status shutdown();
+
+  /// Drop the connection; subsequent calls fail kFailedPrecondition
+  /// (unless the retry policy reconnects them).
   void close() { sock_.close(); }
 
   [[nodiscard]] bool connected() const { return sock_.valid(); }
 
  private:
   explicit Client(Socket sock, const ClientConfig& config)
-      : sock_(std::move(sock)), assembler_(config.max_frame_bytes) {}
+      : sock_(std::move(sock)),
+        config_(config),
+        assembler_(config.max_frame_bytes),
+        jitter_(config.retry.jitter_seed) {}
 
-  /// Block until one complete frame arrives (or the stream dies).
+  /// True when any transport timeout is configured — the socket is then
+  /// non-blocking and all IO goes through the poll-based helpers.
+  [[nodiscard]] bool bounded() const {
+    return config_.connect_timeout_ms > 0 || config_.send_timeout_ms > 0 ||
+           config_.recv_timeout_ms > 0;
+  }
+
+  /// Re-establish the connection with a fresh frame assembler.
+  api::Status reconnect();
+
+  /// Block until one complete frame arrives (or the stream dies/times out).
   api::Status read_frame(FrameHeader* header, std::vector<std::uint8_t>* body);
   api::Status send_frame(MsgType type, std::uint64_t request_id,
                          const io::Writer& body);
 
+  /// One pipelined send+collect pass over the batch's unanswered slots.
+  api::Status audit_round(const std::vector<ClientAuditRequest>& requests,
+                          const std::vector<std::uint64_t>& ids,
+                          std::vector<bool>* answered,
+                          std::vector<api::AuditResponse>* out);
+
   Socket sock_;
+  ClientConfig config_;
   FrameAssembler assembler_;
   std::uint64_t next_id_ = 1;
+  util::Rng jitter_;
 };
 
 }  // namespace bprom::net

@@ -60,6 +60,8 @@ enum class MsgType : std::uint8_t {
   kStatsResponse = 4,
   kInfoRequest = 5,
   kInfoResponse = 6,
+  kShutdownRequest = 7,
+  kShutdownResponse = 8,
 };
 
 struct FrameHeader {

@@ -252,6 +252,32 @@ InfoResponseMsg decode_info_response(io::Reader& reader) {
   return msg;
 }
 
+void encode_shutdown_request(io::Writer& writer) {
+  writer.write_tag(kTagShutdownRequest);
+  writer.write_u32(kShutdownMsgVersion);
+}
+
+void decode_shutdown_request(io::Reader& reader) {
+  reader.expect_tag(kTagShutdownRequest);
+  check_version(reader.read_u32(), kShutdownMsgVersion, "shutdown request");
+}
+
+void encode_shutdown_response(io::Writer& writer,
+                              const ShutdownResponseMsg& msg) {
+  writer.write_tag(kTagShutdownResponse);
+  writer.write_u32(msg.struct_version);
+  write_status(writer, msg.status);
+}
+
+ShutdownResponseMsg decode_shutdown_response(io::Reader& reader) {
+  reader.expect_tag(kTagShutdownResponse);
+  ShutdownResponseMsg msg;
+  msg.struct_version = reader.read_u32();
+  check_version(msg.struct_version, kShutdownMsgVersion, "shutdown response");
+  msg.status = read_status(reader);
+  return msg;
+}
+
 void encode_error(io::Writer& writer, const ErrorMsg& msg) {
   writer.write_tag(kTagError);
   writer.write_u32(msg.struct_version);

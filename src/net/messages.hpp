@@ -32,6 +32,7 @@ namespace bprom::net {
 
 inline constexpr std::uint32_t kStatsResponseVersion = 1;
 inline constexpr std::uint32_t kErrorMsgVersion = 1;
+inline constexpr std::uint32_t kShutdownMsgVersion = 1;
 
 // Chunk tags (one per message type; decode verifies).
 inline constexpr char kTagAuditRequest[5] = "NREQ";
@@ -41,6 +42,8 @@ inline constexpr char kTagStatsResponse[5] = "NSTS";
 inline constexpr char kTagInfoRequest[5] = "NINQ";
 inline constexpr char kTagInfoResponse[5] = "NINS";
 inline constexpr char kTagError[5] = "NERR";
+inline constexpr char kTagShutdownRequest[5] = "NSHQ";
+inline constexpr char kTagShutdownResponse[5] = "NSHS";
 
 /// One audit request as decoded on the server: the api::AuditRequest scalar
 /// fields plus the uploaded model, owned.
@@ -137,6 +140,26 @@ struct ErrorMsg {
 
 void encode_error(io::Writer& writer, const ErrorMsg& msg);
 ErrorMsg decode_error(io::Reader& reader);
+
+/// Ask the server to drain gracefully: stop accepting connections, let
+/// in-flight audits finish and their responses flush, then close.  The
+/// response acknowledges that the drain began (the connection closes once
+/// its own queue empties).
+struct ShutdownRequestMsg {
+  std::uint32_t struct_version = kShutdownMsgVersion;
+};
+
+void encode_shutdown_request(io::Writer& writer);
+void decode_shutdown_request(io::Reader& reader);
+
+struct ShutdownResponseMsg {
+  std::uint32_t struct_version = kShutdownMsgVersion;
+  api::Status status;
+};
+
+void encode_shutdown_response(io::Writer& writer,
+                              const ShutdownResponseMsg& msg);
+ShutdownResponseMsg decode_shutdown_response(io::Reader& reader);
 
 /// Map decode failures onto the façade's typed codes (same mapping as
 /// api::status_from, re-exported here so transport code reads naturally).

@@ -145,8 +145,31 @@ api::Status Server::start() {
   return api::Status::Ok();
 }
 
+void Server::begin_drain() {
+  if (!started_) return;
+  // release: the IO threads' acquire loads (and the eventfd wakeups below)
+  // publish the mode switch; each loop then deregisters the listener and
+  // starts sweeping finished connections closed.
+  draining_.store(true, std::memory_order_release);
+  for (auto& io : io_threads_) wake(*io);
+}
+
 void Server::stop() {
   if (!started_) return;
+  if (config_.drain_timeout_ms > 0) {
+    // Graceful half: let in-flight audits finish and their responses reach
+    // the wire.  The IO threads close each connection as it empties, so
+    // "every connection gone" means "everything owed was flushed".
+    begin_drain();
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
+    // relaxed: statistics tally read; the sleep loop only needs the value
+    // to eventually reach zero, not ordering against connection state.
+    while (connections_active_.load(std::memory_order_relaxed) > 0 &&
+           Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
   stopping_.store(true, std::memory_order_release);
   for (auto& io : io_threads_) wake(*io);
   for (auto& io : io_threads_) {
@@ -176,6 +199,7 @@ void Server::io_loop(IoThread& io, bool is_acceptor) {
     timeout_ms = std::clamp<int>(
         static_cast<int>(config_.idle_timeout_ms / 2), 10, 500);
   }
+  bool listener_live = is_acceptor;
   // acquire: pairs with stop()'s release store so the loop observes the
   // flag promptly after its eventfd wakeup.
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -185,6 +209,13 @@ void Server::io_loop(IoThread& io, bool is_acceptor) {
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll fd died under us: tear this loop down
+    }
+    // Drain step 1: stop accepting.  Only this loop touches the listener's
+    // epoll registration, so deregistering here (not in begin_drain, which
+    // may run on any thread) cannot race the accept path below.
+    if (listener_live && draining()) {
+      ::epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      listener_live = false;
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
@@ -196,7 +227,7 @@ void Server::io_loop(IoThread& io, bool is_acceptor) {
         continue;
       }
       if (is_acceptor && fd == listener_.fd()) {
-        accept_ready(io);
+        if (listener_live) accept_ready(io);
         continue;
       }
       auto it = io.conns.find(fd);
@@ -212,6 +243,9 @@ void Server::io_loop(IoThread& io, bool is_acceptor) {
     }
     adopt_incoming(io);
     if (config_.idle_timeout_ms > 0) sweep_idle(io);
+    // Drain steps 2+3: in-flight audits finish through the normal
+    // completion path; connections close the moment they owe nothing.
+    if (draining()) sweep_draining(io);
   }
   // Teardown: this thread owns these sockets, so it closes them.
   for (auto& [fd, conn] : io.conns) {
@@ -382,6 +416,30 @@ void Server::dispatch_frame(IoThread& io,
                     /*from_io_thread=*/true);
       return;
     }
+    case MsgType::kShutdownRequest: {
+      try {
+        io::Reader reader(std::move(body));
+        decode_shutdown_request(reader);
+      } catch (const io::IoError& e) {
+        // relaxed: statistics tally.
+        rejected_protocol_.fetch_add(1, std::memory_order_relaxed);
+        send_error(io, conn, header.request_id, status_from_io(e));
+        return;
+      }
+      // Flip the mode FIRST: a client that has read the acknowledgement
+      // must observe draining() == true.  The ack still reaches the wire —
+      // it rides the normal write queue, and the drain sweep only closes a
+      // connection whose queue has fully flushed.
+      begin_drain();
+      ShutdownResponseMsg msg;
+      io::Writer writer;
+      encode_shutdown_response(writer, msg);
+      enqueue_write(io, conn,
+                    encode_frame(MsgType::kShutdownResponse,
+                                 header.request_id, writer),
+                    /*from_io_thread=*/true);
+      return;
+    }
     case MsgType::kInfoRequest: {
       InfoRequestMsg request;
       try {
@@ -423,6 +481,14 @@ void Server::handle_audit(IoThread& io,
                           const FrameHeader& header,
                           std::vector<std::uint8_t>& body) {
   ++conn->requests_seen;
+  // A draining server starts no new audits — only the ones already in
+  // flight finish.  Typed refusal, so a retrying client fails fast instead
+  // of replaying into a closing server.
+  if (draining()) {
+    send_error(io, conn, header.request_id,
+               api::Status::FailedPrecondition("server is draining"));
+    return;
+  }
   // Admission runs BEFORE the body is decoded: rejecting an over-budget
   // request must stay cheap exactly when the server is overloaded.
   // relaxed: in_flight is incremented by this thread only; the load needs
@@ -636,6 +702,26 @@ void Server::sweep_idle(IoThread& io) {
     connections_idle_closed_.fetch_add(1, std::memory_order_relaxed);
     close_connection(io, conn);
   }
+}
+
+void Server::sweep_draining(IoThread& io) {
+  std::vector<std::shared_ptr<Connection>> done;
+  for (auto& [fd, conn] : io.conns) {
+    // Same acquire pairing as sweep_idle: a connection between slot
+    // release and response enqueue is mid-completion, not finished.
+    if (conn->in_flight.load(std::memory_order_acquire) > 0) continue;
+    if (conn->completions_pending.load(std::memory_order_acquire) > 0) {
+      continue;
+    }
+    bool pending;
+    {
+      util::MutexLock lock(conn->mu);
+      pending = !conn->write_queue.empty();
+    }
+    if (pending) continue;  // response bytes still owed: flush first
+    done.push_back(conn);
+  }
+  for (auto& conn : done) close_connection(io, conn);
 }
 
 ServerCounters Server::counters() const {

@@ -60,6 +60,12 @@ struct ServerConfig {
   /// Close connections with no traffic and no in-flight audits for this
   /// long (0 = never).
   std::uint64_t idle_timeout_ms = 0;
+  /// stop() drains gracefully: stop accepting, let in-flight audits finish
+  /// and their responses flush, close connections as they empty, and only
+  /// hard-stop once every connection is gone or this many milliseconds
+  /// have passed.  0 = legacy immediate stop (in-flight responses may be
+  /// dropped on the floor).
+  std::uint64_t drain_timeout_ms = 5000;
   /// Connection-level budgets and in-flight caps (see net/admission.hpp).
   AdmissionConfig admission;
 };
@@ -78,9 +84,25 @@ class Server {
   /// Bind, listen, and start the IO threads.  Safe to call once.
   api::Status start();
 
-  /// Quiesce: stop accepting, close every connection, join the IO threads,
-  /// and wait for in-flight audit completions to drain.  Idempotent.
+  /// Quiesce.  With drain_timeout_ms > 0 (the default) this is graceful:
+  /// begin_drain(), wait for every connection to finish and flush (bounded
+  /// by the timeout), then join the IO threads and drain in-flight audit
+  /// completions.  Idempotent.
   void stop();
+
+  /// Enter drain mode without blocking: the listener stops accepting, new
+  /// audit requests are refused with a typed kFailedPrecondition, in-flight
+  /// audits finish and their responses flush, and each connection closes
+  /// once it has nothing left in flight or queued.  Also triggered remotely
+  /// by the kShutdownRequest wire message.  Irreversible.
+  void begin_drain();
+
+  /// True once begin_drain()/stop()/a shutdown message started a drain.
+  [[nodiscard]] bool draining() const {
+    // acquire: pairs with begin_drain's release store (observers read the
+    // flag after the IO threads were woken).
+    return draining_.load(std::memory_order_acquire);
+  }
 
   /// Port the listener bound to (after a successful start()).
   [[nodiscard]] std::uint16_t port() const { return port_; }
@@ -113,6 +135,9 @@ class Server {
   void flush_writes(IoThread& io, const std::shared_ptr<Connection>& conn);
   void close_connection(IoThread& io, const std::shared_ptr<Connection>& conn);
   void sweep_idle(IoThread& io);
+  /// Drain-mode sweep: close every connection with no in-flight audit, no
+  /// mid-completion callback, and an empty write queue.  IO-thread only.
+  void sweep_draining(IoThread& io);
   void update_epoll(IoThread& io, Connection& conn);
   void wake(IoThread& io);
 
@@ -124,6 +149,7 @@ class Server {
   std::uint16_t port_ = 0;
   bool started_ = false;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::vector<std::unique_ptr<IoThread>> io_threads_;
   std::atomic<std::size_t> next_io_thread_{0};
 

@@ -51,6 +51,15 @@ api::Result<Socket> listen_on(const std::string& host, std::uint16_t port,
 /// Blocking TCP connect to `host:port` with TCP_NODELAY.
 api::Result<Socket> connect_to(const std::string& host, std::uint16_t port);
 
+/// Bounded TCP connect: non-blocking connect + poll(POLLOUT), failing with
+/// kDeadlineExceeded after `timeout_ms` (a SYN-dropping peer no longer
+/// hangs the caller for the kernel's multi-minute default).  The returned
+/// socket is left NON-blocking — pair it with the timeout-aware
+/// send_all/recv_some overloads below.  timeout_ms <= 0 degrades to the
+/// blocking connect_to.
+api::Result<Socket> connect_to(const std::string& host, std::uint16_t port,
+                               int timeout_ms);
+
 /// Port a bound socket actually landed on (after listen_on with port 0).
 api::Result<std::uint16_t> local_port(int fd);
 
@@ -62,5 +71,17 @@ api::Status send_all(int fd, const std::uint8_t* data, std::size_t n);
 /// Blocking read of up to `cap` bytes.  *got == 0 means orderly peer close.
 api::Status recv_some(int fd, std::uint8_t* buf, std::size_t cap,
                       std::size_t* got);
+
+/// Bounded whole-buffer write on a non-blocking fd: poll(POLLOUT) between
+/// partial writes, kDeadlineExceeded when `timeout_ms` elapses with bytes
+/// still unsent.  timeout_ms <= 0 waits forever (poll with no deadline).
+api::Status send_all(int fd, const std::uint8_t* data, std::size_t n,
+                     int timeout_ms);
+
+/// Bounded read of up to `cap` bytes on a non-blocking fd: poll(POLLIN)
+/// until data, peer close (*got == 0), or `timeout_ms` elapses
+/// (kDeadlineExceeded).  timeout_ms <= 0 waits forever.
+api::Status recv_some(int fd, std::uint8_t* buf, std::size_t cap,
+                      std::size_t* got, int timeout_ms);
 
 }  // namespace bprom::net

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,15 +25,29 @@
 
 namespace bprom::serve {
 
+/// Start token of a live process: the `starttime` field of
+/// `/proc/<pid>/stat` (clock ticks since boot at exec time).  A (pid,
+/// starttime) pair names a process incarnation uniquely for the uptime of
+/// the machine — a recycled pid gets a different starttime — which is what
+/// makes lock-liveness checks immune to pid reuse.  Returns nullopt when
+/// the process does not exist or /proc is unreadable (non-Linux).
+std::optional<std::uint64_t> process_start_token(long pid);
+
 /// Cross-process publish lock over a store directory, held for the span of
 /// a scan-and-write rollover.  The lock is an O_EXCL-created file
 /// (`.publish.lock`) inside the directory: creation is atomic on every
 /// POSIX filesystem, so exactly one engine — in this process or any other —
 /// can hold it.  The constructor spins (yield + millisecond naps) until it
-/// wins; the destructor unlinks.  A lock file whose mtime is older than
-/// `kStaleAfterSeconds` is treated as the debris of a crashed writer and
-/// broken — publishes take milliseconds, so a minute-old lock is never
-/// live.
+/// wins; the destructor unlinks.
+///
+/// Stale-lock breaking is two-tier.  The holder writes a
+/// "<pid> <starttime>\n" breadcrumb; a waiter that can prove the holder is
+/// dead — the pid is gone, or it now names a *different* process (start
+/// token mismatch, i.e. pid reuse) — breaks the lock immediately.  When
+/// liveness cannot be decided (holder alive, crumb unreadable, old-format
+/// crumb without a token), the waiter falls back to the mtime rule: a lock
+/// older than `kStaleAfterSeconds` is debris — publishes take milliseconds,
+/// so a minute-old lock is never live.
 class BPROM_SCOPED_CAPABILITY StoreLock {
  public:
   static constexpr const char* kLockName = ".publish.lock";
@@ -48,6 +63,29 @@ class BPROM_SCOPED_CAPABILITY StoreLock {
 
  private:
   std::string path_;
+};
+
+/// One problem found (and handled) by DetectorStore::recover().
+struct RecoveryIssue {
+  enum class Kind : std::uint8_t {
+    kTempFile,            ///< leftover .tmp from a torn publish — quarantined
+    kCorrupt,             ///< truncated / CRC-failed container — quarantined
+    kVersionMismatch,     ///< newer-format container — left in place
+    kStaleLock,           ///< publish lock debris from a dead writer
+    kGenerationRepaired,  ///< .generation missing/corrupt — rebuilt
+  };
+  Kind kind;
+  std::string file;            ///< filename relative to the store directory
+  std::string detail;          ///< human-readable cause (parser message, …)
+  std::string quarantined_as;  ///< destination under quarantine/, if moved
+};
+
+/// Outcome of a recovery scan.
+struct RecoveryReport {
+  std::vector<RecoveryIssue> issues;
+  std::size_t artifacts_ok = 0;   ///< containers that parsed cleanly
+  std::uint64_t generation = 0;   ///< generation after any repair
+  [[nodiscard]] bool clean() const { return issues.empty(); }
 };
 
 class DetectorStore {
@@ -93,6 +131,19 @@ class DetectorStore {
   /// read-modify-write is not atomic on its own.
   std::uint64_t bump_generation();
 
+  /// Crash-recovery scan.  Takes the StoreLock itself, then walks the
+  /// directory: leftover publish temp files and containers that fail to
+  /// parse (truncated, CRC mismatch, bad magic) are MOVED into
+  /// `quarantine/` — never deleted — and reported; containers written by a
+  /// newer format version are reported but left in place (an upgraded
+  /// build can still serve them); a missing or corrupt `.generation` is
+  /// rebuilt from the surviving artifact count.  Healthy stores pass
+  /// through untouched (`report.clean()`), and a healthy generation is
+  /// never changed.  Quarantined names are also dropped from the in-memory
+  /// cache.  Throws io::IoError only when the directory itself is
+  /// unusable.
+  RecoveryReport recover();
+
  private:
   /// Cached handle for `name`, or null.  The lookup half of get()'s
   /// check-then-load-then-publish sequence (the load runs unlocked so a
@@ -100,6 +151,9 @@ class DetectorStore {
   /// publish race adopt the winner's handle).
   [[nodiscard]] std::shared_ptr<const core::BpromDetector> cached_locked(
       const std::string& name) const BPROM_REQUIRES(mu_);
+
+  /// Persist an explicit generation value (temp-file + rename).
+  void write_generation(std::uint64_t value);
 
   std::string dir_;
   mutable util::Mutex mu_;

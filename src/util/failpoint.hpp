@@ -1,0 +1,114 @@
+// Deterministic, always-compiled fault injection.
+//
+// A failpoint is a named hook compiled into a production code path.  When
+// disarmed (the default, and the only state production ever runs in) a
+// site costs exactly one relaxed atomic load — no branch into the registry,
+// no allocation, no lock.  Tests and the fault-injection CI job arm sites
+// through the `BPROM_FAILPOINTS` environment variable (or directly via
+// `failpoints_arm`) to force the error paths that real disks, networks,
+// and crashes produce: short writes, failed fsyncs, stalled peers, and
+// process death at a precise instruction boundary.
+//
+// Spec grammar (entries separated by ';' or ','):
+//
+//   BPROM_FAILPOINTS="<name>=<action>;<name>=<trigger>-><action>;..."
+//
+//   trigger:  N            fire once, on the Nth hit (1-based)
+//             every:K      fire on every Kth hit
+//             p:PROB:SEED  fire with probability PROB, seeded (deterministic)
+//             (omitted)    fire on every hit
+//   action:   err          site reports an injected error
+//             short:BYTES  site truncates the operation to BYTES bytes
+//             delay:MS     sleep MS milliseconds, then continue normally
+//             exit:CODE    _exit(CODE) — simulated crash, no cleanup
+//
+// Example: crash the publisher the first time it reaches the rename step,
+// and make every third network recv fail:
+//
+//   BPROM_FAILPOINTS="io.save.rename=1->exit:43;net.recv=every:3->err"
+//
+// Every site name must appear in the registry table in failpoint.cpp
+// (between the failpoint-registry markers); `tools/bprom_lint` enforces
+// that sites and registry stay in sync so armed scenarios cannot rot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bprom::util {
+
+/// What an armed failpoint asks the site to do.  kDelay and kExit are
+/// handled inside failpoint_eval (sleep / _exit); sites only ever observe
+/// kNone, kError, and kShort.
+enum class FailpointAction : std::uint8_t {
+  kNone = 0,   ///< not armed or trigger not satisfied — proceed normally
+  kError,      ///< report an injected I/O or transport error
+  kShort,      ///< truncate the operation to `arg` bytes
+  kDelay,      ///< (internal) sleep `arg` milliseconds
+  kExit,       ///< (internal) _exit(arg)
+};
+
+/// Result of evaluating a failpoint at a site.
+struct FailpointHit {
+  FailpointAction action = FailpointAction::kNone;
+  std::uint64_t arg = 0;  ///< bytes for kShort, ms for kDelay, code for kExit
+
+  explicit operator bool() const { return action != FailpointAction::kNone; }
+};
+
+namespace detail {
+/// Count of currently-armed failpoints.  Constant-initialized so the fast
+/// path is valid before any dynamic initializer runs.
+// relaxed: monotone arm/disarm flag — sites that race an arming call may
+// miss the first few hits, which is acceptable for fault injection; the
+// slow path takes a mutex and synchronizes fully.
+extern std::atomic<std::uint32_t> g_armed_count;
+}  // namespace detail
+
+/// True iff any failpoint is armed.  The only cost a disarmed site pays.
+inline bool failpoints_enabled() {
+  // relaxed: see g_armed_count — no ordering needed on the disarmed path.
+  return detail::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Slow path: look up `name`, advance its trigger, and return the action
+/// the site must take.  kDelay sleeps internally and returns kNone; kExit
+/// calls _exit and never returns.
+FailpointHit failpoint_eval(const char* name);
+
+/// The hook macro.  Disarmed cost: one relaxed load, no call.
+#define BPROM_FAILPOINT(name)                         \
+  (::bprom::util::failpoints_enabled()                \
+       ? ::bprom::util::failpoint_eval(name)          \
+       : ::bprom::util::FailpointHit{})
+
+/// Arm failpoints from a spec string (grammar above).  Replaces the armed
+/// set.  Returns false and fills `*error` (if non-null) on any parse or
+/// unknown-name problem — callers must treat that as fatal, because a
+/// typo'd scenario silently running fault-free defeats the point.
+bool failpoints_arm(const std::string& spec, std::string* error);
+
+/// Disarm everything and reset hit counters.
+void failpoints_clear();
+
+/// Total times the named site was evaluated while armed (diagnostics).
+std::uint64_t failpoint_hits(const std::string& name);
+
+/// True iff `name` is in the compiled-in registry.
+bool failpoint_registered(const std::string& name);
+
+/// All registered failpoint names, sorted.
+std::vector<std::string> failpoint_names();
+
+/// Arm from the BPROM_FAILPOINTS environment variable, if set.  Idempotent
+/// (re-entry with the same env is a no-op).  Called from a dynamic
+/// initializer in failpoint.cpp, but cross-TU initialization order is
+/// unspecified, so code that must observe env arming before main() (the
+/// crash-matrix child hook) calls this explicitly.  Aborts the process on
+/// a malformed spec — a typo'd scenario must fail loudly, not pass
+/// fault-free.
+void failpoints_arm_from_env();
+
+}  // namespace bprom::util

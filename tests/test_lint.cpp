@@ -204,11 +204,103 @@ TEST(LintRules, RepoConfigKeepsEveryRuleOn) {
   ASSERT_TRUE(error.empty()) << error;
   for (const char* rule :
        {"raw-thread", "raw-rand", "unordered-container", "hot-path-alloc",
-        "relaxed-comment", "float-accum"}) {
+        "relaxed-comment", "float-accum", "failpoint-name"}) {
     EXPECT_TRUE(rules.rule_on(rule)) << rule << " is off in lint_rules.txt";
   }
   // The hot-path discipline must keep covering the GEMM kernel layer.
   EXPECT_TRUE(rules.hot_path("src/tensor/gemm.cpp"));
+}
+
+// ---- failpoint-name: the cross-file registry/site pass ----
+
+namespace fp {
+
+/// A minimal registry block like the one in src/util/failpoint.cpp.
+const char* kRegistryText =
+    "namespace {\n"
+    "const char* const kRegistry[] = {\n"
+    "    // failpoint-registry-begin\n"
+    "    \"io.read.open\",\n"
+    "    \"net.send\",\n"
+    "    // failpoint-registry-end\n"
+    "};\n"
+    "}\n";
+
+Rules fp_rules() {
+  std::istringstream config("rule failpoint-name on\n");
+  std::string error;
+  Rules rules = Rules::parse(config, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  return rules;
+}
+
+}  // namespace fp
+
+TEST(LintFailpoints, SitesAreExtractedFromRawLines) {
+  // split_lines blanks string literals out of .code, so the name must come
+  // from the raw text; comment-only mentions must NOT count as sites.
+  const std::string text =
+      "// BPROM_FAILPOINT(\"doc.only.mention\") in a comment\n"
+      "if (auto hit = BPROM_FAILPOINT(\"io.read.open\")) throw 1;\n"
+      "#define BPROM_FAILPOINT(name) forwarded(name)\n";
+  const auto sites = bprom::lint::failpoint_sites("a.cpp", text);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].name, "io.read.open");
+  EXPECT_EQ(sites[0].line, 2u);
+}
+
+TEST(LintFailpoints, RegistryParsesMarkerBlock) {
+  const auto registry = bprom::lint::failpoint_registry(fp::kRegistryText);
+  ASSERT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry[0].name, "io.read.open");
+  EXPECT_EQ(registry[1].name, "net.send");
+  // Quoted strings outside the marker block never register.
+  EXPECT_TRUE(bprom::lint::failpoint_registry("const char* s = \"x\";\n")
+                  .empty());
+}
+
+TEST(LintFailpoints, CleanWhenEverySiteIsRegisteredAndUnique) {
+  const auto registry = bprom::lint::failpoint_registry(fp::kRegistryText);
+  std::vector<bprom::lint::FailpointSite> sites = {
+      {"src/io/binary.cpp", 10, "io.read.open"},
+      {"src/net/socket.cpp", 20, "net.send"},
+  };
+  EXPECT_TRUE(bprom::lint::lint_failpoints(sites, registry, "reg.cpp",
+                                           fp::fp_rules())
+                  .empty());
+}
+
+TEST(LintFailpoints, UnregisteredDuplicateAndUnusedAllFire) {
+  const auto registry = bprom::lint::failpoint_registry(fp::kRegistryText);
+  std::vector<bprom::lint::FailpointSite> sites = {
+      {"a.cpp", 1, "io.read.open"},
+      {"b.cpp", 2, "io.read.open"},   // duplicate of a.cpp:1
+      {"c.cpp", 3, "not.registered"}, // not in the registry
+      // "net.send" registered but never used
+  };
+  const auto findings =
+      bprom::lint::lint_failpoints(sites, registry, "reg.cpp", fp::fp_rules());
+  ASSERT_EQ(findings.size(), 3u);
+  bool dup = false, unreg = false, unused = false;
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "failpoint-name");
+    if (f.file == "b.cpp") dup = true;
+    if (f.file == "c.cpp") unreg = true;
+    if (f.file == "reg.cpp") unused = true;
+  }
+  EXPECT_TRUE(dup);
+  EXPECT_TRUE(unreg);
+  EXPECT_TRUE(unused);
+}
+
+TEST(LintFailpoints, RuleOffSuppressesEverything) {
+  std::istringstream config("rule raw-thread on\n");
+  std::string error;
+  const Rules rules = Rules::parse(config, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<bprom::lint::FailpointSite> sites = {
+      {"c.cpp", 3, "not.registered"}};
+  EXPECT_TRUE(bprom::lint::lint_failpoints(sites, {}, "", rules).empty());
 }
 
 // src/net owns real IO threads (the epoll loops) but is deliberately NOT

@@ -2,6 +2,9 @@
 // the detector store cache, and batched audits.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -312,6 +315,77 @@ TEST(StoreLock, StaleLockFromCrashedWriterIsBroken) {
                              serve::StoreLock::kStaleAfterSeconds) + 10));
   serve::StoreLock lock(dir);
   SUCCEED();  // acquired despite the debris
+  fs::remove_all(dir);
+}
+
+TEST(StoreLock, ProcessStartTokenIsStableForALiveProcess) {
+  const auto token = serve::process_start_token(static_cast<long>(getpid()));
+  ASSERT_TRUE(token.has_value());
+  // starttime is fixed at exec: re-reading must agree exactly.
+  EXPECT_EQ(serve::process_start_token(static_cast<long>(getpid())), token);
+}
+
+TEST(StoreLock, ProcessStartTokenOfDeadPidIsEmpty) {
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  // Reaped: /proc/<pid> is gone, so the incarnation cannot be named.
+  EXPECT_FALSE(
+      serve::process_start_token(static_cast<long>(child)).has_value());
+}
+
+TEST(StoreLock, DeadHolderCrumbIsBrokenImmediately) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "bprom_storelock_dead").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  {
+    // Full modern crumb of a writer that is provably dead — the pid is
+    // reaped, so liveness is decidable without waiting out the mtime rule.
+    std::ofstream out((fs::path(dir) / serve::StoreLock::kLockName).string());
+    out << child << " 12345\n";
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  serve::StoreLock lock(dir);  // must not spin for kStaleAfterSeconds
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            static_cast<long>(serve::StoreLock::kStaleAfterSeconds) / 2);
+  fs::remove_all(dir);
+}
+
+TEST(StoreLock, LiveHolderWithFreshLockIsNotBroken) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "bprom_storelock_live").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path lock_path = fs::path(dir) / serve::StoreLock::kLockName;
+  {
+    // Crumb of THIS process: alive, so only the mtime rule could break it,
+    // and the file is fresh.
+    std::ofstream out(lock_path.string());
+    out << getpid() << " "
+        << serve::process_start_token(static_cast<long>(getpid())).value()
+        << "\n";
+  }
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    serve::StoreLock lock(dir);
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(acquired.load()) << "live fresh lock was broken";
+  fs::remove(lock_path);  // simulate the holder releasing
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
   fs::remove_all(dir);
 }
 

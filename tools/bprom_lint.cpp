@@ -92,11 +92,38 @@ int main(int argc, char** argv) {
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
   std::vector<bprom::lint::Finding> findings;
+  std::vector<bprom::lint::FailpointSite> sites;
+  std::vector<bprom::lint::FailpointRegistryEntry> registry;
+  std::string registry_file;
   for (const std::string& file : files) {
-    if (!bprom::lint::lint_path(file, rules, &findings)) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
       std::cerr << "bprom_lint: cannot read " << file << "\n";
       return 2;
     }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const auto file_findings = bprom::lint::lint_file(file, text, rules);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+    if (rules.rule_on("failpoint-name")) {
+      const auto file_sites = bprom::lint::failpoint_sites(file, text);
+      sites.insert(sites.end(), file_sites.begin(), file_sites.end());
+      // Only the canonical registry file is parsed for the marker block —
+      // prose that merely MENTIONS the markers must not become a registry.
+      if (file.find("src/util/failpoint.cpp") != std::string::npos) {
+        registry = bprom::lint::failpoint_registry(text);
+        registry_file = file;
+      }
+    }
+  }
+  // failpoint-name is a cross-file pass: it needs every site and the one
+  // registry block together before it can judge uniqueness and coverage.
+  {
+    const auto fp = bprom::lint::lint_failpoints(sites, registry,
+                                                 registry_file, rules);
+    findings.insert(findings.end(), fp.begin(), fp.end());
   }
   std::sort(findings.begin(), findings.end(),
             [](const bprom::lint::Finding& a, const bprom::lint::Finding& b) {

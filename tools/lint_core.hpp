@@ -27,6 +27,14 @@
 //                     summation is order-sensitive, and the repo's
 //                     determinism contract requires every reduction order
 //                     to be fixed (never thread-count-dependent).
+//   failpoint-name    cross-file pass: every BPROM_FAILPOINT("name") site
+//                     must use a name listed in the registry block of
+//                     src/util/failpoint.cpp (between the
+//                     `failpoint-registry-begin/end` markers), each name
+//                     may appear at exactly ONE site (so an armed spec
+//                     targets one code path, deterministically), and every
+//                     registered name must have a site (no dead registry
+//                     rows that tests could arm in vain).
 //
 // Escape hatch: `// bprom-lint: allow(<rule>)` on the offending line or the
 // line directly above suppresses that one finding (use sparingly, justify
@@ -469,6 +477,134 @@ inline bool lint_path(const std::string& path, const Rules& rules,
   const std::vector<Finding> findings = lint_file(path, buffer.str(), rules);
   out->insert(out->end(), findings.begin(), findings.end());
   return true;
+}
+
+// ---- failpoint-name: cross-file registry/site consistency ----
+
+/// One BPROM_FAILPOINT("name") macro invocation.
+struct FailpointSite {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string name;
+};
+
+/// One row of the failpoint.cpp registry block.
+struct FailpointRegistryEntry {
+  std::size_t line = 0;  // 1-based
+  std::string name;
+};
+
+namespace detail {
+
+/// First "..." literal on a raw line, or empty.  Failpoint names are plain
+/// dotted identifiers, never escaped, so naive quote matching is exact.
+inline std::string first_quoted(const std::string& raw) {
+  const auto open = raw.find('"');
+  if (open == std::string::npos) return {};
+  const auto close = raw.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return raw.substr(open + 1, close - open - 1);
+}
+
+}  // namespace detail
+
+/// Every BPROM_FAILPOINT("name") site in `text`.  Token detection runs on
+/// comment/literal-stripped code (so a doc-comment mention does not count),
+/// but the name itself must come from the RAW line — split_lines blanks
+/// string literals out of .code.  The macro's own `#define` line carries no
+/// quoted literal and is skipped naturally.
+inline std::vector<FailpointSite> failpoint_sites(const std::string& path,
+                                                  const std::string& text) {
+  std::vector<FailpointSite> sites;
+  const std::vector<detail::Line> lines = detail::split_lines(text);
+  std::vector<std::string> raw;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) raw.push_back(line);
+  }
+  for (std::size_t i = 0; i < lines.size() && i < raw.size(); ++i) {
+    if (!detail::has_token(lines[i].code, "BPROM_FAILPOINT")) continue;
+    const auto macro = raw[i].find("BPROM_FAILPOINT");
+    if (macro == std::string::npos) continue;
+    const std::string name = detail::first_quoted(raw[i].substr(macro));
+    if (name.empty()) continue;  // the #define itself, or a forwarded arg
+    sites.push_back(FailpointSite{path, i + 1, name});
+  }
+  return sites;
+}
+
+/// Names listed between the `failpoint-registry-begin` and
+/// `failpoint-registry-end` marker comments (one quoted name per line).
+/// Empty when `text` has no registry block.
+inline std::vector<FailpointRegistryEntry> failpoint_registry(
+    const std::string& text) {
+  std::vector<FailpointRegistryEntry> entries;
+  // Markers are assembled at runtime so THIS file's needle literals cannot
+  // match themselves when the linter walks tools/.
+  const std::string begin_marker =
+      std::string("failpoint-registry-") + "begin";
+  const std::string end_marker = std::string("failpoint-registry-") + "end";
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  bool inside = false;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (raw.find(begin_marker) != std::string::npos) {
+      inside = true;
+      continue;
+    }
+    if (raw.find(end_marker) != std::string::npos) break;
+    if (!inside) continue;
+    const std::string name = detail::first_quoted(raw);
+    if (!name.empty()) entries.push_back(FailpointRegistryEntry{lineno, name});
+  }
+  return entries;
+}
+
+/// The cross-file pass: sites must use registered names, each name at
+/// exactly one site, and every registered name must be used somewhere.
+/// `registry_file` anchors unused-name findings (pass the path the registry
+/// was read from; empty reports them at the first site's file).
+inline std::vector<Finding> lint_failpoints(
+    const std::vector<FailpointSite>& sites,
+    const std::vector<FailpointRegistryEntry>& registry,
+    const std::string& registry_file, const Rules& rules) {
+  std::vector<Finding> findings;
+  if (!rules.rule_on("failpoint-name")) return findings;
+  std::set<std::string> registered;
+  for (const auto& entry : registry) registered.insert(entry.name);
+  std::map<std::string, const FailpointSite*> first_site;
+  for (const auto& site : sites) {
+    if (rules.exempted("failpoint-name", site.file)) continue;
+    if (registered.count(site.name) == 0) {
+      findings.push_back(Finding{
+          site.file, site.line, "failpoint-name",
+          "BPROM_FAILPOINT(\"" + site.name +
+              "\") is not in the src/util/failpoint.cpp registry — add it "
+              "between the failpoint-registry markers"});
+      continue;
+    }
+    const auto [it, inserted] = first_site.emplace(site.name, &site);
+    if (!inserted) {
+      findings.push_back(Finding{
+          site.file, site.line, "failpoint-name",
+          "BPROM_FAILPOINT(\"" + site.name + "\") is also used at " +
+              it->second->file + ":" + std::to_string(it->second->line) +
+              " — each failpoint name targets exactly one site"});
+    }
+  }
+  for (const auto& entry : registry) {
+    if (first_site.count(entry.name) > 0) continue;
+    findings.push_back(Finding{
+        registry_file.empty() ? std::string("<registry>") : registry_file,
+        entry.line, "failpoint-name",
+        "registered failpoint \"" + entry.name +
+            "\" has no BPROM_FAILPOINT site — remove the row or wire the "
+            "site"});
+  }
+  return findings;
 }
 
 }  // namespace bprom::lint
